@@ -1,0 +1,27 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table/figure of the paper.  Experiments
+are deterministic discrete-event runs, so a single round measures the
+harness cost exactly; ``run_once`` wraps ``benchmark.pedantic``
+accordingly and prints the regenerated table so the rows the paper
+reports are visible in the benchmark log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, iterations=1, rounds=1
+        )
+        print()
+        print(result.render())
+        return result
+
+    return runner

@@ -1,0 +1,169 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: each ablation flips one internal
+design knob of a library and measures the consequence, quantifying the
+trade-offs the paper discusses qualitatively.
+"""
+
+import pytest
+
+from repro.hpc import Cluster, TITAN, UINT32_MAX
+from repro.sim import Environment
+from repro.staging import (
+    SfcIndex,
+    StagingConfig,
+    Variable,
+    index_memory_bytes,
+)
+from repro.workflows import laplace_variable, run_coupled
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_flexpath_queue_size(benchmark):
+    """queue_size (Table I sets 1): deeper queues decouple the pipeline
+    at the cost of writer-side memory."""
+
+    def sweep():
+        rows = []
+        for queue_size in (1, 2, 4):
+            config = StagingConfig(
+                transport="nnti", use_adios=True, queue_size=queue_size
+            )
+            result = run_coupled(
+                "titan", "lammps", "flexpath", nsim=64, nana=32, steps=5,
+                config=config,
+            )
+            rows.append((queue_size, result.end_to_end, result.sim_memory.peak()))
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    times = [t for _, t, _ in rows]
+    mems = [m for _, _, m in rows]
+    # Deeper queues never slow the run down...
+    assert times[-1] <= times[0] + 1e-6
+    # ...but the publisher queue pins more writer memory.
+    print("\nqueue_size sweep (size, end-to-end s, writer peak bytes):")
+    for row in rows:
+        print(f"  {row}")
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_max_versions_window(benchmark):
+    """max_versions (Table I sets 1): a wider version window overlaps
+    the pipeline but multiplies server-resident staged data."""
+
+    def sweep():
+        rows = []
+        for window in (1, 2, 3):
+            config = StagingConfig(transport="ugni", max_versions=window)
+            result = run_coupled(
+                "titan", "lammps", "dataspaces", nsim=64, nana=32, steps=5,
+                config=config,
+            )
+            rows.append(
+                (window, result.end_to_end, max(result.server_memory_peaks))
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    mems = [m for _, _, m in rows]
+    assert mems[-1] > mems[0]  # more live versions -> more server memory
+    print("\nmax_versions sweep (window, end-to-end s, server peak bytes):")
+    for row in rows:
+        print(f"  {row}")
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_dim_bits(benchmark):
+    """Table IV's overflow lesson: 32-bit dimension counters crash on
+    large domains; 64-bit (the suggested resolve) does not."""
+
+    def run():
+        # One dimension past the 32-bit boundary; 1-byte elements keep
+        # the actual volume (8 GB) stageable across 16 servers.
+        big = Variable("big", (UINT32_MAX + 1,), elem_size=1)
+        results = {}
+        for bits in (64, 32):
+            config = StagingConfig(transport="ugni", dim_bits=bits)
+            result = run_coupled(
+                "titan", "synthetic", "dataspaces", nsim=8, nana=4, steps=1,
+                variable=big, app_axis=0, config=config, num_servers=16,
+                sim_step_seconds=0.0, ana_step_seconds=0.0,
+                topology_overrides=dict(sim_ranks_per_node=1,
+                                        ana_ranks_per_node=1),
+            )
+            results[bits] = result
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert results[64].ok
+    assert not results[32].ok
+    assert "DimensionOverflow" in results[32].failure
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_buffering_factor(benchmark):
+    """DataSpaces' internal staging buffers (Figure 7): turning the
+    buffering off shrinks server memory by exactly the staged share."""
+
+    def run():
+        peaks = {}
+        for factor in (1.0, 1.25, 1.5):
+            config = StagingConfig(transport="ugni", buffer_factor=factor)
+            # Cori: 2 GB staged per server needs its roomier RDMA window
+            # (on Titan this configuration is the Figure 3 crash).
+            result = run_coupled(
+                "cori", "laplace", "dataspaces", nsim=64, nana=32, steps=2,
+                num_servers=4, config=config,
+            )
+            assert result.ok, result.failure
+            peaks[factor] = max(result.server_memory_peaks)
+        return peaks
+
+    peaks = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert peaks[1.0] < peaks[1.25] < peaks[1.5]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_index_hilbert_vs_flat(benchmark):
+    """Index structure: the padded Hilbert SFC vs a flat per-dimension
+    bucket index — the quadratic-vs-linear memory trade of Figure 6."""
+
+    def run():
+        rows = []
+        for width in (2048, 4096, 8192, 16384):
+            dims = (4096, width * 16)
+            sfc = index_memory_bytes(dims, num_servers=4)
+            # A flat DHT index costs one bucket per application region.
+            flat = 16 * 2048  # regions x descriptor bytes
+            rows.append((dims, sfc, flat))
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    sfc_costs = [s for _, s, _ in rows]
+    # SFC cost explodes with domain growth; the flat index does not.
+    assert sfc_costs[-1] / sfc_costs[0] > 10
+    print("\nindex cost (dims, SFC bytes, flat-DHT bytes):")
+    for row in rows:
+        print(f"  {row}")
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_sfc_locality(benchmark):
+    """Why DataSpaces uses an SFC at all: curve locality keeps small
+    regions on few servers (cheap queries) versus striped placement."""
+
+    def run():
+        index = SfcIndex((256, 256), num_servers=16)
+        from repro.staging import Region
+
+        small = [
+            len(index.servers_for_region(Region((x, y), (x + 16, y + 16))))
+            for x in range(0, 256, 64)
+            for y in range(0, 256, 64)
+        ]
+        return small
+
+    touched = benchmark.pedantic(run, iterations=1, rounds=1)
+    # A 16x16 tile of a 256x256 domain over 16 servers touches few.
+    assert max(touched) <= 4

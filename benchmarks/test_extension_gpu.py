@@ -1,0 +1,63 @@
+"""Extension benchmark: the GPU staging gap (Section IV-B future work).
+
+Quantifies the portability observation the paper makes qualitatively:
+today's libraries stage from host memory only, forcing GPU workflows to
+bounce their output over PCIe; an NVLink-class direct path removes that
+step.  Not a paper figure — the paper names it "an attractive area for
+future research and development", and this is that development.
+"""
+
+import pytest
+
+from repro.hpc import Cluster, TITAN
+from repro.hpc.gpu import GpuDevice, stage_from_gpu, stage_from_gpu_direct
+from repro.sim import Environment
+from repro.staging import Variable, application_decomposition, make_library
+
+
+def run_gpu_workflow(stage_fn, steps=3):
+    env = Environment()
+    cluster = Cluster(env, TITAN)
+    var = Variable("field", (8, 16, 250000))  # 20 MB per writer
+    lib = make_library(
+        "flexpath", cluster, nsim=16, nana=8, variable=var, steps=steps,
+        topology_overrides=dict(sim_ranks_per_node=1, ana_ranks_per_node=1),
+    )
+    regions = application_decomposition(var, lib.topology.sim_actors, 1)
+    read = application_decomposition(var, lib.topology.ana_actors, 1)
+    gpus = [
+        GpuDevice(env, lib.placement.node_of("simulation", i))
+        for i in range(lib.topology.sim_actors)
+    ]
+
+    def writer(i):
+        for step in range(steps):
+            yield from stage_fn(gpus[i], lib, i, regions[i], step)
+
+    def reader(j):
+        for step in range(steps):
+            yield env.process(lib.get(j, read[j], step))
+
+    def main(env):
+        yield env.process(lib.bootstrap())
+        procs = [env.process(writer(i)) for i in range(lib.topology.sim_actors)]
+        procs += [env.process(reader(j)) for j in range(lib.topology.ana_actors)]
+        yield env.all_of(procs)
+
+    env.process(main(env))
+    env.run()
+    return env.now
+
+
+@pytest.mark.benchmark(group="extension")
+def test_extension_gpu_direct_staging(benchmark):
+    def compare():
+        bounce = run_gpu_workflow(stage_from_gpu)
+        direct = run_gpu_workflow(stage_from_gpu_direct)
+        return bounce, direct
+
+    bounce, direct = benchmark.pedantic(compare, iterations=1, rounds=1)
+    print(f"\nhost-bounce staging : {bounce * 1e3:9.3f} ms")
+    print(f"direct GPU staging  : {direct * 1e3:9.3f} ms")
+    print(f"speedup             : {bounce / direct:9.2f}x")
+    assert direct < bounce

@@ -1,0 +1,72 @@
+"""Extension benchmark: the cost of staging resilience (Section IV-C).
+
+The paper notes no studied library constructs resilience for machine
+failures.  This benchmark quantifies what factor-2 fragment replication
+(the fix) costs: extra put time (one more transfer per fragment) and
+doubled server memory — the price of surviving a staging-node crash.
+"""
+
+import pytest
+
+from repro.hpc import Cluster, MB, TITAN
+from repro.sim import Environment
+from repro.staging import (
+    StagingConfig,
+    Variable,
+    application_decomposition,
+    make_library,
+)
+
+
+def run_replicated(replication_factor, steps=3):
+    env = Environment()
+    cluster = Cluster(env, TITAN)
+    var = Variable("field", (8, 16, 125000))  # 1 MB per writer chunk scale
+    config = StagingConfig(
+        transport="ugni", replication_factor=replication_factor
+    )
+    lib = make_library(
+        "dataspaces", cluster, nsim=16, nana=8, variable=var, steps=steps,
+        num_servers=4, config=config,
+        topology_overrides=dict(sim_ranks_per_node=1, ana_ranks_per_node=1),
+    )
+    writes = application_decomposition(var, lib.topology.sim_actors, 1)
+    reads = application_decomposition(var, lib.topology.ana_actors, 1)
+
+    def writer(i):
+        for step in range(steps):
+            yield env.process(lib.put(i, writes[i], step))
+
+    def reader(j):
+        for step in range(steps):
+            yield env.process(lib.get(j, reads[j], step))
+
+    def main(env):
+        yield env.process(lib.bootstrap())
+        procs = [env.process(writer(i)) for i in range(lib.topology.sim_actors)]
+        procs += [env.process(reader(j)) for j in range(lib.topology.ana_actors)]
+        yield env.all_of(procs)
+
+    env.process(main(env))
+    env.run()
+    staged = sum(s.memory.category_total("staged") for s in lib.servers)
+    return env.now, lib.stats.put_time, staged
+
+
+@pytest.mark.benchmark(group="extension")
+def test_extension_replication_cost(benchmark):
+    def compare():
+        return run_replicated(1), run_replicated(2)
+
+    (t1, put1, mem1), (t2, put2, mem2) = benchmark.pedantic(
+        compare, iterations=1, rounds=1
+    )
+    print(f"\nreplication=1: end-to-end {t1 * 1e3:8.2f} ms, "
+          f"staged {mem1 / MB:8.1f} MB")
+    print(f"replication=2: end-to-end {t2 * 1e3:8.2f} ms, "
+          f"staged {mem2 / MB:8.1f} MB")
+    # Resilience costs real resources: more put work, ~2x server memory.
+    assert put2 > put1
+    assert mem2 == pytest.approx(2 * mem1, rel=0.01)
+    # ...but stays a bounded overhead on the whole run.
+    assert t2 < 2 * t1

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 10 (transport layer comparison)."""
+
+import pytest
+
+from repro.core.figures import fig10_transport
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10(run_once):
+    table = run_once(fig10_transport)
+    measured = [r for r in table.rows if r["rdma gain %"] is not None]
+    assert len(measured) == 4  # 2 workflows x 2 (method, RDMA api) pairs
+
+    # RDMA beats sockets everywhere (Finding 4).
+    assert all(r["rdma gain %"] > 0 for r in measured)
+    # The gain order of magnitude matches the paper's 3.8 - 17.3 %.
+    assert all(0 < r["rdma gain %"] < 25 for r in measured)
+
+    # Socket runs beyond (1024, 512) fail on descriptors; Table IV's
+    # socket pool lets the same scale complete.
+    plain_row = table.rows[-2]
+    assert "FAIL(OutOfSockets)" in str(plain_row["socket"])
+    pooled_row = table.rows[-1]
+    assert isinstance(pooled_row["socket"], float)

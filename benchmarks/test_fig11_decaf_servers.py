@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 11 (Decaf server-count sensitivity)."""
+
+import pytest
+
+from repro.core.figures import fig11_decaf_servers
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11(run_once):
+    table = run_once(fig11_decaf_servers, server_counts=(8, 16, 32, 64))
+    mem = table.column("memory/server (MB)")
+    e2e = table.column("end-to-end (s)")
+    assert all(isinstance(m, float) for m in mem)
+
+    # Paper: memory per server drops by ~83.5 % from 8 to 64 servers.
+    drop = (mem[0] - mem[-1]) / mem[0]
+    assert drop > 0.75
+
+    # Paper: end-to-end shrinks by only ~5.5 % — insensitive.
+    assert abs(e2e[0] - e2e[-1]) / e2e[0] < 0.10

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 13 (shared-memory running mode)."""
+
+import pytest
+
+from repro.core.figures import fig13_shared_memory
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13(run_once):
+    table = run_once(fig13_shared_memory)
+    measured = [r for r in table.rows if r["gain %"] is not None]
+    assert len(measured) == 4  # 2 workflows x (flexpath, dataspaces)
+
+    # Shared mode never loses (the paper measured ~9-17 % gains; our
+    # bandwidth-dominated model reproduces the direction with smaller
+    # magnitudes — see EXPERIMENTS.md).
+    assert all(r["gain %"] > -1.0 for r in measured)
+    assert any(r["gain %"] > 0 for r in measured)
+
+    # Decaf cannot run in shared mode on Cori (no heterogeneous launch).
+    decaf_row = table.rows[-1]
+    assert "SchedulerPolicyViolation" in str(decaf_row["shared"])

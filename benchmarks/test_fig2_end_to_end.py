@@ -1,0 +1,72 @@
+"""Benchmark: regenerate Figure 2 (end-to-end times, both workflows).
+
+The full (8192, 4096) sweep on both machines takes a while; the default
+bench covers the scales where every paper effect is visible: MPI-IO's
+linear growth, DataSpaces' N-to-1 rise on Titan, near-flat DIMES/Decaf,
+and the failure cells at the largest scale.
+"""
+
+import pytest
+
+from repro.core.figures import fig2_end_to_end
+
+SCALES = [(32, 16), (512, 256), (2048, 1024), (4096, 2048), (8192, 4096)]
+
+
+def _num(cell):
+    return cell if isinstance(cell, float) else None
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2a_lammps(run_once):
+    table = run_once(
+        fig2_end_to_end,
+        "lammps",
+        machines=("titan", "cori"),
+        scales=SCALES,
+    )
+    titan = [r for r in table.rows if r["machine"] == "titan"]
+    cori = [r for r in table.rows if r["machine"] == "cori"]
+
+    # MPI-IO grows ~linearly with scale; in-memory methods stay bounded.
+    mpiio = [_num(r["mpiio"]) for r in titan]
+    assert mpiio[-1] > mpiio[0] * 1.3
+    dimes = [_num(r["dimes"]) for r in titan if _num(r["dimes"])]
+    assert max(dimes) < 1.15 * min(dimes)
+
+    # Flexpath's end-to-end grows by roughly the paper's ~60%.
+    flex = [_num(r["flexpath"]) for r in titan]
+    assert 1.3 < flex[-1] / flex[0] < 1.9
+
+    # DataSpaces rises on Titan (N-to-1) and fails at (8192, 4096).
+    ds = [r["dataspaces"] for r in titan]
+    assert _num(ds[3]) > 1.4 * _num(ds[0])
+    assert "FAIL" in str(ds[4])
+    assert "FAIL" in str(titan[4]["dimes"])
+
+    # On Cori, every RDMA method fails at (8192, 4096) via DRC.
+    for method in ("dataspaces", "dimes", "flexpath"):
+        assert "FAIL" in str(cori[4][method])
+
+    # Cori compute baseline is slower by the core-speed ratio.
+    assert cori[0]["sim-only"] > 1.4 * titan[0]["sim-only"]
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2b_laplace(run_once):
+    table = run_once(
+        fig2_end_to_end,
+        "laplace",
+        machines=("titan", "cori"),
+        scales=SCALES[:4],
+        methods=["mpiio", "flexpath", "dimes", "decaf"],
+    )
+    titan = [r for r in table.rows if r["machine"] == "titan"]
+    # The compute-intensive Laplace workflow: Cori is slower throughout.
+    cori = [r for r in table.rows if r["machine"] == "cori"]
+    assert cori[0]["sim-only"] > titan[0]["sim-only"]
+    # In-memory methods scale near-flat on the Laplace (matched) layout.
+    dimes = [_num(r["dimes"]) for r in titan if _num(r["dimes"])]
+    assert max(dimes) < 1.2 * min(dimes)
+    mpiio = [_num(r["mpiio"]) for r in titan]
+    assert mpiio[-1] > mpiio[0]

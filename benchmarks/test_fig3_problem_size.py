@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 3 (Laplace problem-size scaling)."""
+
+import pytest
+
+from repro.core.figures import fig3_problem_size
+from repro.hpc import KB, MB
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3(run_once):
+    table = run_once(
+        fig3_problem_size,
+        sizes=(512 * KB, 2 * MB, 8 * MB, 32 * MB, 128 * MB),
+    )
+    # End-to-end time grows proportionally with the problem size.
+    flex = table.column("flexpath")
+    assert all(isinstance(t, float) for t in flex)
+    assert flex[-1] > 10 * flex[0]
+
+    # The 128 MB point needed the paper's remediation for DataSpaces
+    # and DIMES (out of RDMA memory otherwise).
+    assert any("doubled staging servers" in n for n in table.notes)
+    assert any("8 ranks/node" in n for n in table.notes)
+    assert isinstance(table.rows[-1]["dataspaces"], float)
+    assert isinstance(table.rows[-1]["dimes"], float)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 4 (Cray RDMA registration limits)."""
+
+import pytest
+
+from repro.core.figures import fig4_rdma_limits
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4(run_once):
+    table = run_once(fig4_rdma_limits)
+    by_size = {r["request size"]: r for r in table.rows}
+    # <= 512 KB: the 3,675-handler limit binds.
+    for size in ("4.0 KB", "64.0 KB", "256.0 KB", "512.0 KB"):
+        assert by_size[size]["max concurrent"] == 3675
+        assert by_size[size]["binding limit"] == "handlers"
+    # > 512 KB: the 1,843 MB registrable capacity binds.
+    assert by_size["1.0 MB"]["max concurrent"] == 1843
+    assert by_size["128.0 MB"]["max concurrent"] == 14
+    for size in ("1.0 MB", "4.0 MB", "32.0 MB", "128.0 MB"):
+        assert by_size[size]["binding limit"] == "capacity"

@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figure 5 (memory timelines, Cori)."""
+
+import pytest
+
+from repro.core.figures import fig5_memory_timeline
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_lammps(run_once):
+    table = run_once(
+        fig5_memory_timeline,
+        workflow="lammps",
+        methods=("dataspaces", "dimes", "flexpath", "decaf"),
+    )
+
+    def peak(method, column):
+        rows = [r for r in table.rows if r["method"] == method and r.get(column) is not None]
+        return max(r[column] for r in rows)
+
+    # ~400 MB per LAMMPS processor for DataSpaces/DIMES/Flexpath
+    # (173 MB calculation + ~227 MB library).
+    for method in ("dataspaces", "dimes", "flexpath"):
+        assert peak(method, "sim (MB)") == pytest.approx(400, rel=0.2)
+    # Decaf needs ~40 % more.
+    assert peak("decaf", "sim (MB)") > 1.3 * peak("flexpath", "sim (MB)")
+    # Flexpath has no stand-alone staging servers.
+    assert peak("flexpath", "server (MB)") == 0.0
+    # DIMES servers only hold metadata: far below DataSpaces servers.
+    assert peak("dimes", "server (MB)") < 0.5 * peak("dataspaces", "server (MB)")
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_laplace(run_once):
+    table = run_once(
+        fig5_memory_timeline,
+        workflow="laplace",
+        methods=("dataspaces", "decaf"),
+        nsim=64,
+        nana=32,
+    )
+    ds_server = max(
+        r["server (MB)"] for r in table.rows if r["method"] == "dataspaces"
+    )
+    # DataSpaces stages GBs per server for the 128 MB/proc Laplace run.
+    assert ds_server > 1000

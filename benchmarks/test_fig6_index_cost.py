@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 6 (SFC indexing cost)."""
+
+import pytest
+
+from repro.core.figures import fig6_index_cost
+from repro.hpc import MB
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6(run_once):
+    table = run_once(fig6_index_cost, sizes=(1 * MB, 4 * MB, 16 * MB, 64 * MB))
+    ds = table.column("dataspaces server (MB)")
+    dimes = table.column("dimes server (MB)")
+
+    # Quadratic trend: every 4x problem-size step grows the DataSpaces
+    # server footprint superlinearly.
+    assert ds[-1] / ds[0] > 10
+
+    # The paper's magnitudes: ~6 GB DataSpaces server at 64 MB/proc,
+    # DIMES metadata servers around 154 MB.
+    assert 3000 < ds[-1] < 9000
+    assert max(dimes) < 400
+    # DIMES stays near-flat across the sweep.
+    assert max(dimes) < 3 * min(dimes)

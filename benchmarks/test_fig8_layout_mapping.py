@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 8 (staging-area data layout)."""
+
+import pytest
+
+from repro.core.figures import fig8_layout_mapping
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8(run_once):
+    table = run_once(fig8_layout_mapping, nprocs=4, num_servers=4)
+    mismatched = [r for r in table.rows if r["layout"] == "mismatched"]
+    matched = [r for r in table.rows if r["layout"] == "matched"]
+
+    # Figure 8a: every processor walks every server in the same order.
+    assert all(r["server access order"] == "0,1,2,3" for r in mismatched)
+    assert all(r["n-to-1"] == "yes" for r in mismatched)
+
+    # Figure 8b: each processor maps to its own server.
+    orders = [r["server access order"] for r in matched]
+    assert orders == ["0", "1", "2", "3"]
+    assert all(r["n-to-1"] == "no" for r in matched)

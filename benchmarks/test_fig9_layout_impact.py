@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 9 (impact of data layout)."""
+
+import pytest
+
+from repro.core.figures import fig9_layout_impact
+from repro.workflows import APP_INIT_SECONDS
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9(run_once):
+    table = run_once(fig9_layout_impact, nsim=256, nana=128)
+    times = {r["layout"]: r["end-to-end (s)"] for r in table.rows}
+    assert isinstance(times["mismatched"], float)
+    assert isinstance(times["matched"], float)
+
+    # Matching the decomposition to the scaling dimension wins by a
+    # multiple (the paper measured up to 5.3x).
+    speedup = (times["mismatched"] - APP_INIT_SECONDS) / (
+        times["matched"] - APP_INIT_SECONDS
+    )
+    assert speedup > 3.0
+    assert any("faster" in n for n in table.notes)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Coupling through the ADIOS framework, configured by XML.
+
+The usability story of Section IV-A: the application code only calls
+adios_open/write/read/close; switching the staging method (DATASPACES
+-> FLEXPATH -> MPI) is a one-word change in the XML, not a code change.
+This example runs the *same* coupled code under three methods and
+round-trips real data through each, also demonstrating the BP
+self-describing format on the side.
+
+Run:  python examples/adios_xml_workflow.py
+"""
+
+import numpy as np
+
+from repro.adios import Adios, BpReader, BpWriter
+from repro.hpc import Cluster, TITAN
+from repro.sim import Environment
+from repro.staging import application_decomposition
+
+XML_TEMPLATE = """
+<adios-config>
+  <adios-group name="field">
+    <var name="u" type="double" dimensions="32,nprocs,64"/>
+  </adios-group>
+  <method group="field" method="{method}"/>
+</adios-config>
+"""
+
+NSIM, NANA, STEPS = 4, 2, 2
+
+
+def run_one(method: str) -> float:
+    env = Environment()
+    cluster = Cluster(env, TITAN)
+    adios = Adios(XML_TEMPLATE.format(method=method), cluster,
+                  nsim=NSIM, nana=NANA, steps=STEPS)
+    var = adios.variable("field", "u")
+    library = adios.library_for("field", "u")
+    wregions = application_decomposition(var, library.topology.sim_actors, 1)
+    rregions = application_decomposition(var, library.topology.ana_actors, 1)
+    rng = np.random.default_rng(3)
+    truth = rng.random(var.dims)
+    checked = []
+
+    def writer(rank):
+        fd = adios.open("field", "w", rank)
+        for step in range(STEPS):
+            block = truth[wregions[rank].local_slices(var.bounds)] * (step + 1)
+            yield from fd.write("u", wregions[rank], step, block)
+        yield from fd.close()
+
+    def reader(rank):
+        fd = adios.open("field", "r", rank)
+        for step in range(STEPS):
+            nbytes, data = yield from fd.read("u", rregions[rank], step)
+            expected = truth[rregions[rank].local_slices(var.bounds)] * (step + 1)
+            checked.append(np.allclose(data, expected))
+        yield from fd.close()
+
+    def main(env):
+        yield env.process(adios.bootstrap("field", "u"))
+        procs = [env.process(writer(i)) for i in range(library.topology.sim_actors)]
+        procs += [env.process(reader(j)) for j in range(library.topology.ana_actors)]
+        yield env.all_of(procs)
+
+    env.process(main(env))
+    env.run()
+    assert checked and all(checked), f"{method}: data mismatch"
+    return env.now
+
+
+def demo_bp() -> None:
+    """The self-describing BP buffer ADIOS writes to disk."""
+    writer = BpWriter("field", rank=0)
+    payload = np.linspace(0, 1, 12).reshape(3, 4)
+    writer.write("u", payload, global_dims=(3, 16), offsets=(0, 4))
+    packed = writer.pack()
+    reader = BpReader(packed)
+    record = reader.records[0]
+    assert np.allclose(reader.read("u"), payload)
+    print(
+        f"BP buffer: {len(packed)} bytes, self-describing "
+        f"(var {record.name!r}, global {record.global_dims}, "
+        f"offsets {record.offsets}) — decoded without a schema"
+    )
+
+
+def main() -> None:
+    print("Same application code, three staging methods via ADIOS XML:\n")
+    for method in ("DATASPACES", "FLEXPATH", "MPI"):
+        elapsed = run_one(method)
+        print(f"  method={method:11s} -> simulated time {elapsed * 1e3:9.3f} ms, data verified")
+    print()
+    demo_bp()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""The fully parallel Laplace + MTA workflow, end to end.
+
+The most faithful small-scale reproduction artifact in this repository:
+
+* the simulation is the real *distributed* Jacobi solver — each MPI
+  rank relaxes its row slab, exchanges halo rows with its neighbors
+  through the simulated interconnect and synchronizes convergence with
+  MPI_Allreduce (``repro.kernels.laplace_mpi``);
+* every K sweeps each rank stages its slab into **DataSpaces**
+  (put/get over DART with the version-window lock);
+* the analytics ranks pull their regions and run the real parallel
+  moment analysis, merging partial accumulators exactly.
+
+Run:  python examples/parallel_laplace_workflow.py
+"""
+
+import numpy as np
+
+from repro.hpc import Cluster, TITAN
+from repro.kernels import (
+    LaplaceSimulation,
+    MomentAccumulator,
+    ParallelLaplace,
+    combine_slab_moments,
+)
+from repro.mpi import Communicator
+from repro.sim import Environment
+from repro.staging import Variable, application_decomposition, make_library
+
+GRID = (48, 64)
+NSIM, NANA = 4, 2
+SWEEPS_PER_STAGE = 40
+STAGES = 3
+
+
+def main() -> None:
+    env = Environment()
+    cluster = Cluster(env, TITAN)
+
+    # The simulation communicator: one rank per node.
+    sim_nodes = [cluster.node(i) for i in range(NSIM)]
+    comm = Communicator(cluster, sim_nodes, name="laplace")
+    solvers = {
+        i: ParallelLaplace(comm.rank(i), GRID, top=100.0) for i in range(NSIM)
+    }
+
+    var = Variable("field", GRID)
+    library = make_library(
+        "dataspaces", cluster, nsim=NSIM, nana=NANA, variable=var,
+        steps=STAGES,
+        topology_overrides=dict(sim_ranks_per_node=1, ana_ranks_per_node=1),
+    )
+    reads = application_decomposition(var, library.topology.ana_actors, 0)
+    partials = {}
+
+    def simulation(i):
+        solver = solvers[i]
+        for stage in range(STAGES):
+            for _ in range(SWEEPS_PER_STAGE):
+                yield from solver.step()  # halo exchange + relax + allreduce
+            from repro.staging import Region
+
+            region = Region((solver.start, 0), (solver.stop, GRID[1]))
+            yield env.process(
+                library.put(i, region, stage, solver.local.copy())
+            )
+
+    def analytics(j):
+        for stage in range(STAGES):
+            nbytes, slab = yield env.process(library.get(j, reads[j], stage))
+            partials.setdefault(stage, []).append(
+                MomentAccumulator().add_array(slab)
+            )
+
+    def workflow(env):
+        yield env.process(library.bootstrap())
+        ranks = [env.process(simulation(i)) for i in range(NSIM)]
+        ranks += [env.process(analytics(j)) for j in range(NANA)]
+        yield env.all_of(ranks)
+
+    env.process(workflow(env))
+    env.run()
+
+    print("Distributed Jacobi + DataSpaces + parallel MTA on simulated Titan")
+    print(f"grid {GRID}, {NSIM} solver ranks, {NANA} analytics ranks, "
+          f"{STAGES} stages x {SWEEPS_PER_STAGE} sweeps\n")
+    for stage in sorted(partials):
+        combined = combine_slab_moments(partials[stage])
+        print(f"stage {stage}: mean={combined.mean:8.4f}  "
+              f"variance={combined.variance:10.4f}  "
+              f"sweeps so far={SWEEPS_PER_STAGE * (stage + 1)}")
+
+    # Cross-validate against the serial reference at equal sweep count.
+    serial = LaplaceSimulation(GRID, top=100.0)
+    serial.step(SWEEPS_PER_STAGE * STAGES)
+    reference = MomentAccumulator().add_array(serial.grid)
+    final = combine_slab_moments(partials[STAGES - 1])
+    assert abs(final.mean - reference.mean) < 1e-9, "parallel != serial"
+    print("\nparallel moments == serial reference (exact)")
+    print(f"simulated wall-clock: {env.now * 1e3:.2f} ms "
+          f"(halo exchanges + staging + RPCs)")
+
+
+if __name__ == "__main__":
+    main()

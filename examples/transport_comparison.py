@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Finding 4 in action: RDMA vs sockets vs shared memory.
+
+Runs the LAMMPS workflow over every transport each method supports on
+both machines and prints a comparison matrix, including the failure
+modes (socket-descriptor exhaustion at scale, shared-memory scheduler
+restrictions).
+
+Run:  python examples/transport_comparison.py
+"""
+
+from repro.workflows import run_coupled
+
+SCALE = (512, 256)
+CASES = [
+    # (method, transport, machine, shared, note)
+    ("dataspaces", "ugni", "titan", False, "proprietary low-level RDMA"),
+    ("dataspaces", "tcp", "titan", False, "sockets over Gemini"),
+    ("dimes", "ugni", "titan", False, "memory-to-memory RDMA"),
+    ("flexpath", "nnti", "titan", False, "EVPath over NNTI"),
+    ("flexpath", "tcp", "titan", False, "EVPath over TCP"),
+    ("decaf", "mpi", "titan", False, "MPI message passing"),
+    ("flexpath", "shm", "titan", True, "shared memory (refused by Titan)"),
+    ("flexpath", "nnti", "cori", False, "dedicated nodes on Cori"),
+]
+
+
+def main() -> None:
+    print(f"LAMMPS workflow at {SCALE}, 5 steps\n")
+    header = f"{'method':12s} {'transport':9s} {'machine':7s} {'mode':9s} {'end-to-end':>12s}  note"
+    print(header)
+    print("-" * len(header))
+    shared_topo = dict(sim_ranks_per_node=2, ana_ranks_per_node=1)
+    for method, transport, machine, shared, note in CASES:
+        result = run_coupled(
+            machine, "lammps", method,
+            nsim=SCALE[0], nana=SCALE[1],
+            transport=transport, shared_nodes=shared,
+            topology_overrides=shared_topo if shared else None,
+        )
+        if result.ok:
+            cell = f"{result.end_to_end:9.1f} s"
+        else:
+            cell = "FAILED"
+            note = result.failure.split(":")[0]
+        mode = "shared" if shared else "dedicated"
+        print(f"{method:12s} {transport:9s} {machine:7s} {mode:9s} {cell:>12s}  {note}")
+
+    print(
+        "\nsocket exhaustion beyond (1024,512) "
+        "(the Figure 10 failure):"
+    )
+    big = run_coupled("titan", "lammps", "dataspaces",
+                      nsim=2048, nana=1024, transport="tcp")
+    print(f"  dataspaces/tcp at (2048,1024): {big.failure or big.end_to_end}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Visualize the coupling: ASCII Gantt charts of workflow activity.
+
+Renders what each simulation/analytics actor was doing over time for
+three contrasting configurations:
+
+1. Flexpath (queue_size=1) — tight pipelining, analytics hides behind
+   the simulation;
+2. DataSpaces with the mismatched LAMMPS layout — watch the put/get
+   stretches grow (the Finding 3 serialization);
+3. MPI-IO — the read-after-write coupling through the filesystem.
+
+Run:  python examples/workflow_timeline.py
+"""
+
+from repro.workflows import ActivityTrace, run_coupled
+
+
+def show(title: str, **kwargs) -> None:
+    trace = ActivityTrace()
+    result = run_coupled(trace=trace, **kwargs)
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    if not result.ok:
+        print(f"FAILED: {result.failure}\n")
+        return
+    print(trace.gantt(width=64))
+    sim_busy = trace.busy_fraction("sim0")
+    ana_busy = trace.busy_fraction("ana0")
+    print(
+        f"\nend-to-end {result.end_to_end:.1f}s | "
+        f"sim busy {sim_busy:4.0%} | analytics busy {ana_busy:4.0%} | "
+        f"staging {result.staging_time:.1f}s aggregate\n"
+    )
+
+
+def main() -> None:
+    common = dict(machine="titan", workflow="lammps", nsim=64, nana=32, steps=4)
+    show("1. Flexpath (pub/sub, queue_size=1)", method="flexpath", **common)
+    show("2. DataSpaces (mismatched layout, N-to-1 herding)",
+         method="dataspaces", **common)
+    show("3. MPI-IO (post-processing through Lustre)", method="mpiio", **common)
+
+
+if __name__ == "__main__":
+    main()

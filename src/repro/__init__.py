@@ -1,0 +1,22 @@
+"""repro — reproduction of "A Comprehensive Study of In-Memory Computing
+on Large HPC Systems" (Huang et al., ICDCS 2020).
+
+The package implements, in pure Python on a discrete-event simulated HPC
+substrate, the full apparatus of the paper's evaluation study:
+
+* the two supercomputers (Titan and Cori KNL) with their interconnect,
+  RDMA, DRC, socket and Lustre models (:mod:`repro.hpc`);
+* a simulated MPI runtime (:mod:`repro.mpi`);
+* the in-memory computing libraries under study — DataSpaces, DIMES,
+  Flexpath, Decaf — plus the ADIOS framework and the MPI-IO baseline
+  (:mod:`repro.staging`, :mod:`repro.adios`);
+* the scientific workflows — LAMMPS+MSD, Laplace+MTA, synthetic —
+  (:mod:`repro.workflows`) with real numerical kernels
+  (:mod:`repro.kernels`);
+* the study harness that reruns every figure and table of the paper
+  (:mod:`repro.core`).
+"""
+
+__version__ = "1.0.0"
+
+from . import adios, core, hpc, kernels, mpi, sim, staging, transport, workflows  # noqa: F401,E402

@@ -1,0 +1,85 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``study [ids...] [--full] [--verify-findings] [--export DIR]`` —
+  rerun the paper's evaluation (default: every figure and table);
+* ``list`` — list available experiment ids;
+* ``findings`` — verify the eight findings and print the outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import List, Optional
+
+from .core.export import write_files
+from .core.findings import FINDINGS
+from .core.study import Study
+
+
+def _cmd_list() -> int:
+    study = Study()
+    print("available experiments:")
+    for ident in study.experiments():
+        print(f"  {ident}")
+    return 0
+
+
+def _cmd_findings() -> int:
+    failures = 0
+    for finding in FINDINGS:
+        ok = finding.verify() if finding.verify else None
+        status = "n/a" if ok is None else ("ok" if ok else "FAILED")
+        failures += status == "FAILED"
+        print(f"Finding {finding.number}: {status}")
+        print(f"  {finding.statement}")
+    return 1 if failures else 0
+
+
+def _cmd_study(ids: List[str], full: bool, verify: bool, export: Optional[str]) -> int:
+    study = Study(full=full, verify_findings=verify)
+    study.run(only=ids or None)
+    print(study.report())
+    if export:
+        os.makedirs(export, exist_ok=True)
+        for ident, table in study.results.items():
+            write_files(table, os.path.join(export, ident))
+        print(f"\nexported {len(study.results)} tables to {export}/")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rerun the ICDCS'20 in-memory-computing study "
+                    "on the simulated substrate.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    study_p = sub.add_parser("study", help="run figures/tables")
+    study_p.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    study_p.add_argument("--full", action="store_true",
+                         help="the paper's full processor range")
+    study_p.add_argument("--verify-findings", action="store_true",
+                         help="also run every finding's verifier in Table V")
+    study_p.add_argument("--export", metavar="DIR",
+                         help="write each table as CSV+JSON into DIR")
+
+    sub.add_parser("list", help="list experiment ids")
+    sub.add_parser("findings", help="verify the eight findings")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "findings":
+        return _cmd_findings()
+    if args.command == "study":
+        return _cmd_study(args.ids, args.full, args.verify_findings, args.export)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""The ADIOS framework layer: XML configuration, the BP self-describing
+format, and the descriptive adios_open/write/read/close API that
+dispatches to the staging methods."""
+
+from .api import Adios, AdiosError, AdiosFile
+from .bp import BpError, BpReader, BpVarRecord, BpWriter
+from .xmlconf import (
+    METHOD_ALIASES,
+    AdiosConfig,
+    AdiosConfigError,
+    GroupDecl,
+    MethodDecl,
+    VarDecl,
+    parse_config,
+)
+
+__all__ = [
+    "Adios",
+    "AdiosConfig",
+    "AdiosConfigError",
+    "AdiosError",
+    "AdiosFile",
+    "BpError",
+    "BpReader",
+    "BpVarRecord",
+    "BpWriter",
+    "GroupDecl",
+    "METHOD_ALIASES",
+    "MethodDecl",
+    "VarDecl",
+    "parse_config",
+]

@@ -1,0 +1,186 @@
+"""ADIOS XML configuration parsing.
+
+ADIOS users "determine the underlying in-memory library to be used
+typically through an XML configuration file" (Section II-A).  This is a
+real parser for the classic ADIOS 1.x layout::
+
+    <adios-config>
+      <adios-group name="atoms">
+        <var name="positions" type="double" dimensions="5,nprocs,512000"/>
+        <attribute name="units" value="lj"/>
+      </adios-group>
+      <method group="atoms" method="DATASPACES">lock_type=2;max_versions=1</method>
+      <buffer size-MB="200"/>
+    </adios-config>
+
+Dimension tokens may be integers or named parameters (e.g. ``nprocs``)
+resolved at open time.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: ADIOS method name -> repro staging registry name
+METHOD_ALIASES = {
+    "DATASPACES": "dataspaces-adios",
+    "DIMES": "dimes-adios",
+    "FLEXPATH": "flexpath",
+    "MPI": "mpiio",
+    "MPI_AGGREGATE": "mpiio",
+    "POSIX": "mpiio",
+}
+
+
+class AdiosConfigError(Exception):
+    """Raised on malformed ADIOS XML configuration."""
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """One ``<var>`` declaration."""
+
+    name: str
+    dtype: str
+    dimensions: Tuple[str, ...]
+
+    def resolve_dims(self, params: Dict[str, int]) -> Tuple[int, ...]:
+        """Substitute named dimension tokens with concrete sizes."""
+        out = []
+        for token in self.dimensions:
+            if token.isdigit():
+                out.append(int(token))
+            elif token in params:
+                out.append(int(params[token]))
+            else:
+                raise AdiosConfigError(
+                    f"dimension token {token!r} of var {self.name!r} "
+                    f"is not a number and not in params {sorted(params)}"
+                )
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class GroupDecl:
+    """One ``<adios-group>``: named variables plus attributes."""
+
+    name: str
+    variables: Tuple[VarDecl, ...]
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+    def var(self, name: str) -> VarDecl:
+        for decl in self.variables:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"group {self.name!r} has no var {name!r}")
+
+
+@dataclass(frozen=True)
+class MethodDecl:
+    """One ``<method>``: transport selection + key=value parameters."""
+
+    group: str
+    method: str
+    parameters: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def staging_method(self) -> str:
+        try:
+            return METHOD_ALIASES[self.method.upper()]
+        except KeyError:
+            raise AdiosConfigError(
+                f"unsupported ADIOS method {self.method!r}; "
+                f"known: {sorted(METHOD_ALIASES)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class AdiosConfig:
+    """A parsed ``<adios-config>`` document."""
+
+    groups: Dict[str, GroupDecl]
+    methods: Dict[str, MethodDecl]
+    buffer_mb: int = 100
+
+    def group(self, name: str) -> GroupDecl:
+        try:
+            return self.groups[name]
+        except KeyError:
+            raise KeyError(f"no adios-group {name!r}") from None
+
+    def method_for(self, group: str) -> MethodDecl:
+        try:
+            return self.methods[group]
+        except KeyError:
+            raise AdiosConfigError(f"no <method> declared for group {group!r}")
+
+
+def _parse_params(text: Optional[str]) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    if not text:
+        return params
+    for pair in text.replace("\n", ";").split(";"):
+        pair = pair.strip()
+        if not pair:
+            continue
+        if "=" not in pair:
+            raise AdiosConfigError(f"malformed method parameter {pair!r}")
+        key, value = pair.split("=", 1)
+        params[key.strip()] = value.strip()
+    return params
+
+
+def parse_config(xml_text: str) -> AdiosConfig:
+    """Parse an ADIOS XML configuration string."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise AdiosConfigError(f"invalid XML: {exc}") from exc
+    if root.tag != "adios-config":
+        raise AdiosConfigError(f"root element is {root.tag!r}, not adios-config")
+
+    groups: Dict[str, GroupDecl] = {}
+    for group_el in root.findall("adios-group"):
+        name = group_el.get("name")
+        if not name:
+            raise AdiosConfigError("adios-group without a name")
+        variables = []
+        for var_el in group_el.findall("var"):
+            var_name = var_el.get("name")
+            dims = var_el.get("dimensions", "")
+            if not var_name or not dims:
+                raise AdiosConfigError(
+                    f"var in group {name!r} needs name and dimensions"
+                )
+            variables.append(
+                VarDecl(
+                    name=var_name,
+                    dtype=var_el.get("type", "double"),
+                    dimensions=tuple(t.strip() for t in dims.split(",")),
+                )
+            )
+        attributes = {
+            a.get("name"): a.get("value", "")
+            for a in group_el.findall("attribute")
+            if a.get("name")
+        }
+        groups[name] = GroupDecl(name, tuple(variables), attributes)
+
+    methods: Dict[str, MethodDecl] = {}
+    for method_el in root.findall("method"):
+        group = method_el.get("group")
+        method = method_el.get("method")
+        if not group or not method:
+            raise AdiosConfigError("method element needs group and method")
+        if group not in groups:
+            raise AdiosConfigError(f"method references unknown group {group!r}")
+        methods[group] = MethodDecl(group, method, _parse_params(method_el.text))
+
+    buffer_mb = 100
+    buffer_el = root.find("buffer")
+    if buffer_el is not None:
+        buffer_mb = int(buffer_el.get("size-MB", "100"))
+
+    return AdiosConfig(groups=groups, methods=methods, buffer_mb=buffer_mb)

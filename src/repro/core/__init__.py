@@ -1,0 +1,35 @@
+"""The study harness: reruns every figure and table of the paper's
+evaluation on the simulated substrate and renders the results."""
+
+from . import figures
+from .conclusions import conclusions
+from .configs import BUILD_CONFIGS, table1_build_configs, table2_workflows
+from .findings import FINDINGS, Finding, LIBRARIES, table5_findings
+from .portability import table_portability
+from .results import TableResult
+from .robustness import LESSONS, Lesson, table4_robustness
+from .study import Study
+from .usability import RECIPES, Recipe, loc, table3_usability, total_loc
+
+__all__ = [
+    "BUILD_CONFIGS",
+    "FINDINGS",
+    "Finding",
+    "LESSONS",
+    "LIBRARIES",
+    "Lesson",
+    "Recipe",
+    "RECIPES",
+    "Study",
+    "TableResult",
+    "conclusions",
+    "figures",
+    "loc",
+    "table1_build_configs",
+    "table2_workflows",
+    "table3_usability",
+    "table4_robustness",
+    "table_portability",
+    "table5_findings",
+    "total_loc",
+]

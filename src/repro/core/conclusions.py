@@ -1,0 +1,115 @@
+"""Section V, executable: derive the paper's conclusions from runs.
+
+The paper closes with four qualitative claims.  Each is computed here
+from fresh simulated runs, so the conclusion block of the reproduction
+is *generated*, not transcribed:
+
+1. in-memory computing beats traditional post-processing at scale;
+2. its scalability is constrained by HPC resource availability
+   (RDMA memory/handlers, sockets, DRC);
+3. the libraries are portable across transports and platforms;
+4. usability/robustness need continued investment (integration LOC,
+   failure classes encountered).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..workflows import run_coupled
+from .results import TableResult
+from .robustness import LESSONS
+from .usability import total_loc
+
+
+def in_memory_speedup_at_scale(
+    nsim: int = 4096, nana: int = 2048, workflow: str = "lammps"
+) -> Dict[str, float]:
+    """End-to-end speedup of each in-memory method over MPI-IO."""
+    mpiio = run_coupled("titan", workflow, "mpiio", nsim=nsim, nana=nana)
+    speedups: Dict[str, float] = {}
+    for method in ("flexpath", "dimes", "decaf"):
+        result = run_coupled("titan", workflow, method, nsim=nsim, nana=nana)
+        if result.ok and mpiio.ok:
+            speedups[method] = mpiio.end_to_end / result.end_to_end
+    return speedups
+
+
+def resource_constrained_failures() -> List[str]:
+    """The resource classes that cap in-memory scalability."""
+    observed = []
+    cases = [
+        ("titan", "dimes", 8192, 4096, None),      # RDMA handlers
+        ("cori", "dataspaces", 8192, 4096, None),  # DRC
+        ("titan", "dataspaces", 2048, 1024, "tcp"),  # sockets
+    ]
+    for machine, method, nsim, nana, transport in cases:
+        result = run_coupled(machine, "lammps", method, nsim=nsim, nana=nana,
+                             steps=1, transport=transport)
+        if not result.ok:
+            observed.append(result.failure.split(":")[0])
+    return observed
+
+
+def portability_matrix() -> Dict[str, List[str]]:
+    """Which transports each method completes a small run on."""
+    matrix: Dict[str, List[str]] = {}
+    cases = {
+        "dataspaces": ("ugni", "verbs", "tcp"),
+        "dimes": ("ugni", "tcp"),
+        "flexpath": ("nnti", "tcp"),
+        "decaf": ("mpi",),
+    }
+    for method, transports in cases.items():
+        working = []
+        for transport in transports:
+            result = run_coupled("titan", "lammps", method, nsim=16, nana=8,
+                                 steps=1, transport=transport)
+            if result.ok:
+                working.append(transport)
+        matrix[method] = working
+    return matrix
+
+
+def conclusions() -> TableResult:
+    """The generated Section V summary."""
+    table = TableResult(
+        ident="Conclusions",
+        title="Section V, derived from simulated runs",
+        columns=["claim", "evidence"],
+    )
+    speedups = in_memory_speedup_at_scale()
+    best = max(speedups.values())
+    table.add(
+        claim="in-memory computing beats post-processing at scale",
+        evidence=(
+            f"at (4096,2048) on Titan, in-memory methods run "
+            f"{min(speedups.values()):.2f}-{best:.2f}x faster end-to-end "
+            f"than MPI-IO ({', '.join(f'{m}={s:.2f}x' for m, s in sorted(speedups.items()))})"
+        ),
+    )
+    failures = resource_constrained_failures()
+    table.add(
+        claim="scalability is constrained by HPC resource availability",
+        evidence=f"failure classes reproduced at scale: {', '.join(failures)}",
+    )
+    matrix = portability_matrix()
+    table.add(
+        claim="the libraries are portable across transports",
+        evidence="; ".join(
+            f"{method}: {'/'.join(transports)}"
+            for method, transports in sorted(matrix.items())
+        ),
+    )
+    loc = {lib: total_loc(lib) for lib in
+           {"DataSpaces/DIMES (native)", "Flexpath", "Decaf"}}
+    table.add(
+        claim="usability and robustness need continued investment",
+        evidence=(
+            f"integration still costs "
+            f"{min(loc.values())}-{max(loc.values())} lines of "
+            f"config/code per library; {len(LESSONS)} distinct failure "
+            f"classes encountered in deployment (Table IV)"
+        ),
+    )
+    return table

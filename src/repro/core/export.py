@@ -1,0 +1,57 @@
+"""Export reproduced tables to CSV / JSON for downstream plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict
+
+from .results import TableResult
+
+
+def to_json(table: TableResult, indent: int = 2) -> str:
+    """Serialize a table (rows + notes) to a JSON document."""
+    payload: Dict[str, Any] = {
+        "id": table.ident,
+        "title": table.title,
+        "columns": table.columns,
+        "rows": table.rows,
+        "notes": table.notes,
+    }
+    return json.dumps(payload, indent=indent, default=str)
+
+
+def from_json(text: str) -> TableResult:
+    """Rebuild a :class:`TableResult` from :func:`to_json` output."""
+    payload = json.loads(text)
+    table = TableResult(
+        ident=payload["id"],
+        title=payload["title"],
+        columns=list(payload["columns"]),
+    )
+    for row in payload["rows"]:
+        table.add(**row)
+    for note in payload.get("notes", []):
+        table.note(note)
+    return table
+
+
+def to_csv(table: TableResult) -> str:
+    """Serialize a table's rows to CSV (notes become # comments)."""
+    buffer = io.StringIO()
+    for note in table.notes:
+        buffer.write(f"# {note}\n")
+    writer = csv.DictWriter(buffer, fieldnames=table.columns, extrasaction="ignore")
+    writer.writeheader()
+    for row in table.rows:
+        writer.writerow({col: row.get(col, "") for col in table.columns})
+    return buffer.getvalue()
+
+
+def write_files(table: TableResult, stem: str) -> None:
+    """Write ``<stem>.json`` and ``<stem>.csv`` next to each other."""
+    with open(f"{stem}.json", "w", encoding="utf-8") as fh:
+        fh.write(to_json(table))
+    with open(f"{stem}.csv", "w", encoding="utf-8") as fh:
+        fh.write(to_csv(table))

@@ -1,0 +1,631 @@
+"""One function per figure of the paper's evaluation section.
+
+Every function runs the relevant experiment on the simulated substrate
+and returns a :class:`~repro.core.results.TableResult` whose rows are
+the series the figure plots.  Default parameters use reduced sweeps so
+the whole study reruns in minutes; pass ``full=True`` (where offered)
+for the paper's complete processor range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..hpc import KB, MB, RdmaPool, TITAN, fmt_bytes
+from ..kernels import laplace_ana_step_for_size, laplace_sim_step_for_size
+from ..sim import Environment
+from ..staging import (
+    access_plan,
+    application_decomposition,
+    is_n_to_one,
+    staging_partition,
+)
+from ..workflows import laplace_variable, run_coupled, synthetic_variable
+from .results import TableResult
+
+#: the Figure 2 method roster
+FIG2_METHODS = [
+    "mpiio",
+    "flexpath",
+    "dataspaces-adios",
+    "dataspaces",
+    "dimes-adios",
+    "dimes",
+    "decaf",
+]
+
+SMALL_SCALES = [(32, 16), (512, 256), (2048, 1024)]
+FULL_SCALES = SMALL_SCALES + [(4096, 2048), (8192, 4096)]
+
+
+def _cell(result) -> object:
+    if result.ok:
+        return result.end_to_end
+    return "FAIL(" + result.failure.split(":")[0] + ")"
+
+
+def fig2_end_to_end(
+    workflow: str = "lammps",
+    machines: Sequence[str] = ("titan", "cori"),
+    scales: Optional[Sequence[Tuple[int, int]]] = None,
+    methods: Optional[Sequence[str]] = None,
+    steps: int = 5,
+    full: bool = False,
+) -> TableResult:
+    """Figure 2: end-to-end workflow time vs processor count.
+
+    Includes the "simulation only" and "analytics only" baselines; a
+    cell reads ``FAIL(...)`` where the paper's run crashed too.
+    """
+    scales = list(scales) if scales is not None else (FULL_SCALES if full else SMALL_SCALES)
+    methods = list(methods) if methods is not None else FIG2_METHODS
+    sub = "2a" if workflow == "lammps" else "2b"
+    table = TableResult(
+        ident=f"Figure {sub}",
+        title=f"End-to-end time of the {workflow.upper()} workflow (seconds)",
+        columns=["machine", "scale", "sim-only", "ana-only"] + methods,
+    )
+    for machine in machines:
+        for nsim, nana in scales:
+            baseline = run_coupled(machine, workflow, None, nsim=nsim, nana=nana, steps=steps)
+            row: Dict[str, object] = {
+                "machine": machine,
+                "scale": f"({nsim},{nana})",
+                "sim-only": baseline.sim_finish,
+                "ana-only": baseline.ana_finish,
+            }
+            for method in methods:
+                result = run_coupled(
+                    machine, workflow, method, nsim=nsim, nana=nana, steps=steps
+                )
+                if (
+                    not result.ok
+                    and workflow == "laplace"
+                    and "OutOfRdmaMemory" in result.failure
+                ):
+                    # The 128 MB/processor Laplace runs need the
+                    # Figure 3 remediation on Titan (doubled servers for
+                    # DataSpaces, fewer ranks per node for DIMES).
+                    if method.startswith("dataspaces"):
+                        result = run_coupled(
+                            machine, workflow, method, nsim=nsim, nana=nana,
+                            steps=steps, num_servers=max(1, nana // 4),
+                        )
+                    elif method.startswith("dimes"):
+                        result = run_coupled(
+                            machine, workflow, method, nsim=nsim, nana=nana,
+                            steps=steps,
+                            topology_overrides=dict(sim_ranks_per_node=8),
+                        )
+                    if result.ok:
+                        table.note(
+                            f"{machine} ({nsim},{nana}) {method}: ran with "
+                            f"the Figure 3 RDMA remediation"
+                        )
+                row[method] = _cell(result)
+            table.add(**row)
+    table.note(
+        "in-memory methods stay near-flat with scale; MPI-IO grows with "
+        "the processor count (fixed OSTs + few MDS); DataSpaces rises on "
+        "Titan for LAMMPS (N-to-1, Finding 1/3)"
+    )
+    return table
+
+
+def fig3_problem_size(
+    sizes: Sequence[int] = (512 * KB, 2 * MB, 8 * MB, 32 * MB, 128 * MB),
+    methods: Sequence[str] = ("flexpath", "dataspaces", "dimes", "decaf", "mpiio"),
+    nsim: int = 1024,
+    nana: int = 512,
+    steps: int = 5,
+    remediate: bool = True,
+) -> TableResult:
+    """Figure 3: Laplace end-to-end vs per-processor problem size (Titan).
+
+    At 128 MB per processor DataSpaces and DIMES exhaust RDMA memory;
+    with ``remediate=True`` the run is retried the way the paper did —
+    "we double the amount of the staging servers in order to make the
+    runs successful" (for DIMES, whose staged data lives in simulation
+    memory, halving the ranks per node is the equivalent lever).
+    """
+    table = TableResult(
+        ident="Figure 3",
+        title="Laplace problem-size scaling on Titan (seconds)",
+        columns=["size/proc"] + list(methods),
+    )
+    for size in sizes:
+        var = laplace_variable(nsim, size)
+        row: Dict[str, object] = {"size/proc": fmt_bytes(size)}
+        for method in methods:
+            kwargs = dict(
+                nsim=nsim, nana=nana, steps=steps, variable=var,
+                sim_step_seconds=laplace_sim_step_for_size(size),
+                ana_step_seconds=laplace_ana_step_for_size(size),
+            )
+            result = run_coupled("titan", "laplace", method, **kwargs)
+            if not result.ok and remediate and "OutOfRdma" in result.failure:
+                if method.startswith("dataspaces"):
+                    result = run_coupled(
+                        "titan", "laplace", method, num_servers=128, **kwargs
+                    )
+                    table.note(
+                        f"{method} @ {fmt_bytes(size)}: out of RDMA memory; "
+                        f"rerun with doubled staging servers (128)"
+                    )
+                elif method.startswith("dimes"):
+                    kwargs2 = dict(kwargs)
+                    kwargs2["topology_overrides"] = dict(sim_ranks_per_node=8)
+                    result = run_coupled("titan", "laplace", method, **kwargs2)
+                    table.note(
+                        f"{method} @ {fmt_bytes(size)}: out of RDMA memory; "
+                        f"rerun at 8 ranks/node"
+                    )
+            row[method] = _cell(result)
+        table.add(**row)
+    table.note("end-to-end time increases proportionally with the problem size")
+    return table
+
+
+def fig4_rdma_limits(
+    request_sizes: Sequence[int] = (
+        4 * KB, 64 * KB, 256 * KB, 512 * KB, 1 * MB, 4 * MB, 32 * MB, 128 * MB,
+    ),
+) -> TableResult:
+    """Figure 4: max concurrent Cray RDMA registrations vs request size.
+
+    Below 512 KB the 3,675-handler limit binds; above it the 1,843 MB
+    registrable capacity does.
+    """
+    env = Environment()
+    node = TITAN.node
+    pool = RdmaPool(env, node.rdma_capacity, node.rdma_max_handlers)
+    table = TableResult(
+        ident="Figure 4",
+        title="Cray RDMA concurrent registrations vs request size (Titan)",
+        columns=["request size", "max concurrent", "binding limit"],
+    )
+    for size in request_sizes:
+        limit = pool.max_concurrent_registrations(size)
+        binding = "handlers" if limit == node.rdma_max_handlers else "capacity"
+        table.add(
+            **{
+                "request size": fmt_bytes(size),
+                "max concurrent": limit,
+                "binding limit": binding,
+            }
+        )
+    table.note("3,675 handlers for requests <= 512 KB; 1,843 MB capacity above")
+    return table
+
+
+def fig5_memory_timeline(
+    workflow: str = "lammps",
+    methods: Sequence[str] = ("dataspaces", "dimes", "flexpath", "decaf"),
+    machine: str = "cori",
+    nsim: int = 512,
+    nana: int = 256,
+    steps: int = 5,
+    sample_every: float = 20.0,
+) -> TableResult:
+    """Figure 5: per-processor memory usage over time (Cori).
+
+    One row per (method, sample time): simulation-process, analytics-
+    process and staging-server live bytes.
+    """
+    table = TableResult(
+        ident="Figure 5",
+        title=f"Memory per processor over time, {workflow.upper()} on {machine}",
+        columns=["method", "t(s)", "sim (MB)", "analytics (MB)", "server (MB)"],
+    )
+    for method in methods:
+        result = run_coupled(machine, workflow, method, nsim=nsim, nana=nana, steps=steps)
+        if not result.ok:
+            table.add(
+                method=method, **{"t(s)": "-", "sim (MB)": result.failure}
+            )
+            continue
+        end = result.end_to_end
+        t = 0.0
+        while t <= end + 1e-9:
+            server_mb = (
+                result.server_memory.value_at(t) / MB
+                if result.server_memory is not None
+                else 0.0
+            )
+            table.add(
+                method=method,
+                **{
+                    "t(s)": round(t, 1),
+                    "sim (MB)": result.sim_memory.value_at(t) / MB,
+                    "analytics (MB)": result.ana_memory.value_at(t) / MB,
+                    "server (MB)": server_mb,
+                },
+            )
+            t += sample_every
+    table.note(
+        "LAMMPS processors level near 400 MB (173 MB calculation + ~227 MB "
+        "library); Decaf ~40% higher; the server series jumps when the "
+        "staging servers are created"
+    )
+    return table
+
+
+def fig6_index_cost(
+    sizes: Sequence[int] = (1 * MB, 4 * MB, 16 * MB, 64 * MB),
+    nsim: int = 64,
+    nana: int = 32,
+    num_servers: int = 4,
+) -> TableResult:
+    """Figure 6: staging-server memory vs problem size (Laplace).
+
+    DataSpaces' SFC-indexed servers grow quadratically; DIMES metadata
+    servers stay ~flat (the ~154 MB the paper measured).
+    """
+    table = TableResult(
+        ident="Figure 6",
+        title="Server memory vs per-processor problem size (Laplace)",
+        columns=["size/proc", "dataspaces server (MB)", "dimes server (MB)"],
+    )
+    for size in sizes:
+        var = laplace_variable(nsim, size)
+        row: Dict[str, object] = {"size/proc": fmt_bytes(size)}
+        for method, column in (
+            ("dataspaces", "dataspaces server (MB)"),
+            ("dimes", "dimes server (MB)"),
+        ):
+            result = run_coupled(
+                "cori", "laplace", method, nsim=nsim, nana=nana, steps=2,
+                variable=var,
+                num_servers=num_servers if method == "dataspaces" else None,
+                sim_step_seconds=laplace_sim_step_for_size(size),
+                ana_step_seconds=laplace_ana_step_for_size(size),
+            )
+            row[column] = (
+                max(result.server_memory_peaks) / MB if result.ok else result.failure
+            )
+        table.add(**row)
+    table.note(
+        "the SFC index space pads every dimension to a power of two, so "
+        "DataSpaces server memory grows quadratically with the problem side"
+    )
+    return table
+
+
+def fig7_memory_breakdown(
+    nsim: int = 64,
+    nana: int = 32,
+) -> TableResult:
+    """Figure 7: server memory breakdown (Laplace).
+
+    DataSpaces: staged raw data + internal buffering + SFC index
+    (>2 GB where 2 GB raw is staged).  Decaf: the rich data model holds
+    7x the raw bytes (1.8 GB vs 256 MB).
+    """
+    table = TableResult(
+        ident="Figure 7",
+        title="Staging-server memory breakdown, Laplace (per server, MB)",
+        columns=["method", "category", "MB"],
+    )
+    for method, servers in (("dataspaces", 4), ("decaf", None)):
+        result = run_coupled(
+            "cori", "laplace", method, nsim=nsim, nana=nana, steps=2,
+            num_servers=servers,
+        )
+        if not result.ok:
+            table.add(method=method, category="FAILED", MB=result.failure)
+            continue
+        for category, nbytes in sorted(result.server_memory_breakdown.items()):
+            table.add(method=method, category=category, MB=nbytes / MB)
+        table.add(
+            method=method, category="TOTAL(peak)",
+            MB=max(result.server_memory_peaks) / MB,
+        )
+    table.note(
+        "DataSpaces exceeds the raw staged size via internal buffering; "
+        "Decaf's transformation to rich objects costs ~7x the raw data"
+    )
+    return table
+
+
+def fig8_layout_mapping(
+    nprocs: int = 4,
+    num_servers: int = 4,
+) -> TableResult:
+    """Figure 8: which servers each processor touches, in order.
+
+    The mismatched layout sends every processor to every server in the
+    same sequence (N-to-1 herding); the matched layout gives each
+    processor its own server.
+    """
+    table = TableResult(
+        ident="Figure 8",
+        title="Data layout in the staging area: per-processor access order",
+        columns=["layout", "processor", "server access order", "n-to-1"],
+    )
+    for layout in ("mismatched", "matched"):
+        var = synthetic_variable(nprocs, axis_layout=layout)
+        axis = 1 if layout == "mismatched" else 2
+        partition = staging_partition(var, num_servers)
+        regions = application_decomposition(var, nprocs, axis)
+        plans = [access_plan(r, partition, num_servers) for r in regions]
+        herd = is_n_to_one(plans, num_servers)
+        for proc, plan in enumerate(plans):
+            order = ",".join(str(server) for server, _ in plan)
+            table.add(
+                layout=layout,
+                processor=f"S-{proc}",
+                **{"server access order": order, "n-to-1": "yes" if herd else "no"},
+            )
+    return table
+
+
+def fig9_layout_impact(
+    nsim: int = 512,
+    nana: int = 256,
+    steps: int = 5,
+    method: str = "dataspaces",
+) -> TableResult:
+    """Figure 9: synthetic workflow, mismatched vs matched decomposition.
+
+    The paper measured up to 5.3x improvement from matching the
+    decomposition dimension to the processor-scaling dimension.
+    """
+    table = TableResult(
+        ident="Figure 9",
+        title="Impact of data layout on the synthetic workflow (Titan)",
+        columns=["layout", "end-to-end (s)", "staging (s)"],
+    )
+    times = {}
+    for layout in ("mismatched", "matched"):
+        var = synthetic_variable(nsim, axis_layout=layout)
+        axis = 1 if layout == "mismatched" else 2
+        result = run_coupled(
+            "titan", "synthetic", method, nsim=nsim, nana=nana, steps=steps,
+            variable=var, app_axis=axis,
+        )
+        times[layout] = result.end_to_end
+        table.add(
+            layout=layout,
+            **{
+                "end-to-end (s)": _cell(result),
+                "staging (s)": result.staging_time if result.ok else None,
+            },
+        )
+    if all(isinstance(t, float) for t in times.values()):
+        # The synthetic workflow has no computation: compare the staging
+        # portion (end-to-end minus the fixed application startup).
+        from ..workflows import APP_INIT_SECONDS
+
+        speedup = (times["mismatched"] - APP_INIT_SECONDS) / max(
+            1e-9, times["matched"] - APP_INIT_SECONDS
+        )
+        table.note(f"matched layout is {speedup:.1f}x faster (paper: up to 5.3x)")
+    return table
+
+
+def fig10_transport(
+    workflows: Sequence[str] = ("lammps", "laplace"),
+    nsim: int = 512,
+    nana: int = 256,
+    steps: int = 5,
+    fail_scale: Tuple[int, int] = (2048, 1024),
+) -> TableResult:
+    """Figure 10: RDMA vs TCP-socket transport end-to-end (Titan).
+
+    Also reruns DataSpaces over sockets beyond (1024, 512), where the
+    descriptor tables deplete.
+    """
+    table = TableResult(
+        ident="Figure 10",
+        title="Workflow end-to-end time by transport (Titan, seconds)",
+        columns=["workflow", "method", "rdma", "socket", "rdma gain %"],
+    )
+    pairs = [("flexpath", "nnti"), ("dataspaces", "ugni")]
+    for workflow in workflows:
+        for method, rdma_api in pairs:
+            rdma = run_coupled(
+                "titan", workflow, method, nsim=nsim, nana=nana, steps=steps,
+                transport=rdma_api,
+            )
+            if not rdma.ok and "OutOfRdma" in rdma.failure:
+                # Laplace at 128 MB/processor needs the Figure 3
+                # remediation (doubled staging servers) to fit RDMA.
+                rdma = run_coupled(
+                    "titan", workflow, method, nsim=nsim, nana=nana,
+                    steps=steps, transport=rdma_api,
+                    num_servers=max(1, nana // 4),
+                )
+                table.note(
+                    f"{workflow}/{method}: staging servers doubled to fit "
+                    f"RDMA memory (the Figure 3 remediation)"
+                )
+            sock = run_coupled(
+                "titan", workflow, method, nsim=nsim, nana=nana, steps=steps,
+                transport="tcp",
+            )
+            gain = None
+            if rdma.ok and sock.ok:
+                gain = 100.0 * (sock.end_to_end - rdma.end_to_end) / sock.end_to_end
+            table.add(
+                workflow=workflow,
+                method=f"{method}/{rdma_api}",
+                rdma=_cell(rdma),
+                socket=_cell(sock),
+                **{"rdma gain %": gain},
+            )
+    big = run_coupled(
+        "titan", "lammps", "dataspaces", nsim=fail_scale[0], nana=fail_scale[1],
+        steps=steps, transport="tcp",
+    )
+    table.add(
+        workflow="lammps",
+        method=f"dataspaces/tcp @{fail_scale}",
+        rdma=None,
+        socket=_cell(big),
+        **{"rdma gain %": None},
+    )
+    pooled = run_coupled(
+        "titan", "lammps", "dataspaces", nsim=fail_scale[0], nana=fail_scale[1],
+        steps=steps, transport="tcp-pool",
+    )
+    table.add(
+        workflow="lammps",
+        method=f"dataspaces/tcp-pool @{fail_scale}",
+        rdma=None,
+        socket=_cell(pooled),
+        **{"rdma gain %": None},
+    )
+    table.note(
+        "socket runs beyond (1024,512) fail: staging servers run out of "
+        "descriptors (clients + server peer mesh); the Table IV socket "
+        "pool (tcp-pool) lets the same scale complete"
+    )
+    return table
+
+
+def fig11_decaf_servers(
+    server_counts: Sequence[int] = (8, 16, 32, 64),
+    nsim: int = 64,
+    nana: int = 32,
+    steps: int = 5,
+) -> TableResult:
+    """Figure 11: Decaf memory/server and end-to-end vs server count.
+
+    Paper: 8 -> 64 servers cuts memory per server by 83.5 % but the
+    end-to-end time by only 5.5 %.
+    """
+    table = TableResult(
+        ident="Figure 11",
+        title="Decaf: servers vs memory and end-to-end (Laplace (64,32), Titan)",
+        columns=["servers", "memory/server (MB)", "end-to-end (s)"],
+    )
+    for count in server_counts:
+        result = run_coupled(
+            "titan", "laplace", "decaf", nsim=nsim, nana=nana, steps=steps,
+            num_servers=count,
+            # Pack 2 dflow ranks per node so the 8-server point fits in
+            # Titan's 32 GB nodes despite the 7x data expansion.
+            topology_overrides=dict(servers_per_node=2),
+        )
+        table.add(
+            servers=count,
+            **{
+                "memory/server (MB)": (
+                    max(result.server_memory_peaks) / MB if result.ok else None
+                ),
+                "end-to-end (s)": _cell(result),
+            },
+        )
+    table.note(
+        "memory per server drops ~proportionally; end-to-end is nearly "
+        "insensitive to the server count"
+    )
+    return table
+
+
+def fig12_dataspaces_servers(
+    server_counts: Sequence[int] = (1, 2, 4, 8),
+    nsim: int = 128,
+    nana: int = 64,
+    steps: int = 5,
+    bytes_per_proc: int = 8 * MB,
+) -> TableResult:
+    """Figure 12: DataSpaces server count over sockets (Titan, Laplace).
+
+    Doubling the servers buys only a few percent end-to-end but up to
+    ~20 % on the staging (data movement) time itself.  The baseline is
+    one server, matching the paper's "one DataSpaces server for
+    (32, 16)" server:processor ratio.
+    """
+    table = TableResult(
+        ident="Figure 12",
+        title="DataSpaces server scaling using sockets (Laplace, Titan)",
+        columns=["servers", "end-to-end (s)", "staging (s)", "e2e gain %", "staging gain %"],
+    )
+    var = laplace_variable(nsim, bytes_per_proc)
+    prev: Optional[Tuple[float, float]] = None
+    for count in server_counts:
+        result = run_coupled(
+            "titan", "laplace", "dataspaces", nsim=nsim, nana=nana, steps=steps,
+            num_servers=count, transport="tcp", variable=var,
+            sim_step_seconds=laplace_sim_step_for_size(bytes_per_proc),
+            ana_step_seconds=laplace_ana_step_for_size(bytes_per_proc),
+        )
+        e2e_gain = staging_gain = None
+        if result.ok and prev is not None:
+            e2e_gain = 100.0 * (prev[0] - result.end_to_end) / prev[0]
+            if prev[1] > 0:
+                staging_gain = 100.0 * (prev[1] - result.staging_time) / prev[1]
+        table.add(
+            servers=count,
+            **{
+                "end-to-end (s)": _cell(result),
+                "staging (s)": result.staging_time if result.ok else None,
+                "e2e gain %": e2e_gain,
+                "staging gain %": staging_gain,
+            },
+        )
+        if result.ok:
+            prev = (result.end_to_end, result.staging_time)
+    return table
+
+
+def fig13_shared_memory(
+    workflows: Sequence[str] = ("lammps", "laplace"),
+    nsim: int = 512,
+    nana: int = 256,
+    steps: int = 5,
+) -> TableResult:
+    """Figure 13: shared (co-located) mode on Cori.
+
+    Flexpath moves to plain shared memory; DataSpaces must fall back to
+    sockets to avoid DRC's node-sharing policy; Decaf cannot run at all
+    without heterogeneous launch support (Finding 5).
+    """
+    table = TableResult(
+        ident="Figure 13",
+        title="Dedicated vs shared (co-located) mode on Cori (seconds)",
+        columns=["workflow", "method", "dedicated", "shared", "gain %"],
+    )
+    # Both components span the same node set in shared mode.
+    shared_topo = dict(sim_ranks_per_node=16, ana_ranks_per_node=8)
+    cases = [("flexpath", "shm"), ("dataspaces", "tcp")]
+    for workflow in workflows:
+        for method, shared_transport in cases:
+            dedicated = run_coupled(
+                "cori", workflow, method, nsim=nsim, nana=nana, steps=steps,
+                topology_overrides=shared_topo,
+            )
+            shared = run_coupled(
+                "cori", workflow, method, nsim=nsim, nana=nana, steps=steps,
+                shared_nodes=True, transport=shared_transport,
+                topology_overrides=shared_topo,
+            )
+            gain = None
+            if dedicated.ok and shared.ok:
+                gain = (
+                    100.0
+                    * (dedicated.end_to_end - shared.end_to_end)
+                    / dedicated.end_to_end
+                )
+            table.add(
+                workflow=workflow,
+                method=f"{method} ({shared_transport} shared)",
+                dedicated=_cell(dedicated),
+                shared=_cell(shared),
+                **{"gain %": gain},
+            )
+    decaf = run_coupled(
+        "cori", "lammps", "decaf", nsim=nsim, nana=nana, steps=steps,
+        shared_nodes=True, topology_overrides=shared_topo,
+    )
+    table.add(
+        workflow="lammps", method="decaf (shared)",
+        dedicated=None, shared=_cell(decaf), **{"gain %": None},
+    )
+    table.note(
+        "DataSpaces runs over sockets in shared mode to avoid DRC's "
+        "node-sharing restriction; Decaf cannot run shared on Cori "
+        "(no heterogeneous launch)"
+    )
+    return table

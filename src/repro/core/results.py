@@ -1,0 +1,61 @@
+"""Result containers and ASCII rendering for figures and tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class TableResult:
+    """One reproduced table or figure, as rows of dicts."""
+
+    ident: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **cells: Any) -> None:
+        self.rows.append(cells)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def render(self, float_fmt: str = "{:.1f}") -> str:
+        """ASCII-render the table, paper-style."""
+
+        def fmt(value: Any) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                return float_fmt.format(value)
+            return str(value)
+
+        cells = [[fmt(row.get(col)) for col in self.columns] for row in self.rows]
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+        out = [f"{self.ident}: {self.title}", sep]
+        out.append(
+            "|"
+            + "|".join(f" {col.ljust(w)} " for col, w in zip(self.columns, widths))
+            + "|"
+        )
+        out.append(sep)
+        for row in cells:
+            out.append(
+                "|"
+                + "|".join(f" {cell.ljust(w)} " for cell, w in zip(row, widths))
+                + "|"
+            )
+        out.append(sep)
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)

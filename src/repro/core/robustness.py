@@ -1,0 +1,259 @@
+"""Table IV: robustness lessons, executed.
+
+Every failure class the paper catalogs is reproduced *and* its
+suggested resolve demonstrated: each :class:`Lesson` carries a
+``trigger`` (a callable that provokes the failure on the simulated
+substrate) and a ``resolve`` (a callable applying the paper's
+suggestion and succeeding).  ``table4_robustness()`` runs them all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..hpc import (
+    DimensionOverflow,
+    DrcOverload,
+    DrcService,
+    GB,
+    MB,
+    OutOfMemory,
+    OutOfRdmaMemory,
+    OutOfSockets,
+    RdmaPool,
+        )
+from ..sim import Environment
+from ..staging import Variable
+from ..workflows import laplace_variable, run_coupled
+from .results import TableResult
+
+
+@dataclass
+class Lesson:
+    """One Table IV row: a failure and its demonstrated resolve."""
+
+    issue: str
+    description: str
+    resolve_description: str
+    trigger: Callable[[], Optional[str]]
+    resolve: Callable[[], Optional[str]]
+
+
+def _trigger_out_of_rdma() -> Optional[str]:
+    """Laplace at 128 MB/processor exhausts Titan's RDMA memory."""
+    result = run_coupled(
+        "titan", "laplace", "dataspaces", nsim=1024, nana=512, steps=1,
+        variable=laplace_variable(1024, 128 * MB),
+    )
+    if result.ok or "OutOfRdmaMemory" not in result.failure:
+        return f"expected OutOfRdmaMemory, got {result.failure}"
+    return None
+
+
+def _resolve_out_of_rdma() -> Optional[str]:
+    """Resolve 1 (wait-and-retry) and resolve 2 (indirection/capacity
+    planning: add staging servers)."""
+    # Wait-and-retry at the registration layer:
+    env = Environment()
+    pool = RdmaPool(env, capacity=100 * MB, max_handlers=100)
+
+    def holder(env):
+        handle = pool.register(90 * MB)
+        yield env.timeout(2)
+        pool.deregister(handle)
+
+    def retrier(env):
+        yield env.process(pool.register_with_retry(90 * MB, retry_interval=0.5))
+
+    env.process(holder(env))
+    env.process(retrier(env))
+    env.run()
+    # Capacity planning: double the staging servers (the Figure 3 fix).
+    result = run_coupled(
+        "titan", "laplace", "dataspaces", nsim=1024, nana=512, steps=1,
+        variable=laplace_variable(1024, 128 * MB), num_servers=128,
+    )
+    return None if result.ok else result.failure
+
+
+def _trigger_dimension_overflow() -> Optional[str]:
+    var = Variable("huge", (2**33, 16))
+    try:
+        var.check_dims(dim_bits=32)
+    except DimensionOverflow:
+        return None
+    return "expected DimensionOverflow with 32-bit dims"
+
+
+def _resolve_dimension_overflow() -> Optional[str]:
+    """Suggested resolve: switch to 64-bit unsigned dimensions."""
+    Variable("huge", (2**33, 16)).check_dims(dim_bits=64)
+    return None
+
+
+def _trigger_out_of_memory() -> Optional[str]:
+    """Decaf's 7x expansion blows node RAM on a large dataset."""
+    result = run_coupled(
+        "titan", "laplace", "decaf", nsim=64, nana=32, steps=1,
+        variable=laplace_variable(64, 1 * GB),
+    )
+    if result.ok or "OutOfMemory" not in result.failure:
+        return f"expected OutOfMemory, got {result.failure}"
+    return None
+
+
+def _resolve_out_of_memory() -> Optional[str]:
+    """Resolve: profile the footprint, then allocate enough memory —
+    here by spreading dflow ranks over more nodes."""
+    result = run_coupled(
+        "titan", "laplace", "decaf", nsim=64, nana=32, steps=1,
+        variable=laplace_variable(64, 1 * GB),
+        topology_overrides=dict(servers_per_node=1),
+    )
+    return None if result.ok else result.failure
+
+
+def _trigger_out_of_sockets() -> Optional[str]:
+    result = run_coupled(
+        "titan", "lammps", "dataspaces", nsim=2048, nana=1024, steps=1,
+        transport="tcp",
+    )
+    if result.ok or "OutOfSockets" not in result.failure:
+        return f"expected OutOfSockets, got {result.failure}"
+    return None
+
+
+def _resolve_out_of_sockets() -> Optional[str]:
+    """Resolve 2: a socket pool — many logical channels multiplexed on
+    few descriptors.  The ``tcp-pool`` transport implements it; the
+    same (2048, 1024) run that exhausts plain sockets completes."""
+    result = run_coupled(
+        "titan", "lammps", "dataspaces", nsim=2048, nana=1024, steps=1,
+        transport="tcp-pool",
+    )
+    return None if result.ok else result.failure
+
+
+def _trigger_out_of_drc() -> Optional[str]:
+    result = run_coupled(
+        "cori", "lammps", "dataspaces", nsim=8192, nana=4096, steps=1,
+    )
+    if result.ok or "DrcOverload" not in result.failure:
+        return f"expected DrcOverload, got {result.failure}"
+    return None
+
+
+def _resolve_out_of_drc() -> Optional[str]:
+    """Resolve 1: a layer of indirection that throttles requests to the
+    DRC service (batched acquisition instead of a thundering herd)."""
+    env = Environment()
+    drc = DrcService(env, max_pending=64, service_time=0.001)
+    done = []
+
+    def throttled_clients(env, total, batch):
+        for start in range(0, total, batch):
+            procs = [
+                env.process(drc.acquire("job", node_id=start + i))
+                for i in range(min(batch, total - start))
+            ]
+            yield env.all_of(procs)
+        done.append(env.now)
+
+    env.process(throttled_clients(env, total=512, batch=32))
+    env.run()
+    if drc.requests_served != 512:
+        return f"served {drc.requests_served} of 512"
+    return None
+
+
+LESSONS: List[Lesson] = [
+    Lesson(
+        issue="Out of RDMA memory",
+        description=(
+            "Data movement between simulation and data analytics can "
+            "deplete the shared RDMA resources on a compute node."
+        ),
+        resolve_description=(
+            "1. Better error handling (wait and re-try). 2. A layer of "
+            "indirection that checks RDMA constraints in advance "
+            "(capacity-plan the staging servers)."
+        ),
+        trigger=_trigger_out_of_rdma,
+        resolve=_resolve_out_of_rdma,
+    ),
+    Lesson(
+        issue="Data dimension overflow",
+        description=(
+            "The dimension size can be overflown if it is stored as a "
+            "32-bit unsigned integer."
+        ),
+        resolve_description="Switch to 64-bit unsigned long int.",
+        trigger=_trigger_dimension_overflow,
+        resolve=_resolve_dimension_overflow,
+    ),
+    Lesson(
+        issue="Out of main memory",
+        description=(
+            "In-memory libraries might incur a huge footprint (7x the "
+            "analysis data in Decaf), causing unexpected aborts."
+        ),
+        resolve_description=(
+            "1. Profile the consumption and allocate sufficient memory. "
+            "2. Free regions not needed immediately."
+        ),
+        trigger=_trigger_out_of_memory,
+        resolve=_resolve_out_of_memory,
+    ),
+    Lesson(
+        issue="Out of sockets",
+        description=(
+            "A reader may pull from all staging-server processors, "
+            "depleting the socket descriptors on a node."
+        ),
+        resolve_description=(
+            "1. Adjust the communication pattern. 2. A socket pool "
+            "multiplexing channels over few descriptors."
+        ),
+        trigger=_trigger_out_of_sockets,
+        resolve=_resolve_out_of_sockets,
+    ),
+    Lesson(
+        issue="Out of DRC",
+        description=(
+            "Large workflows overwhelm the single DRC credential "
+            "service before communication starts."
+        ),
+        resolve_description=(
+            "1. A layer of indirection managing DRC requests "
+            "(throttled/batched acquisition). 2. Distribute the service."
+        ),
+        trigger=_trigger_out_of_drc,
+        resolve=_resolve_out_of_drc,
+    ),
+]
+
+
+def table4_robustness(run: bool = True) -> TableResult:
+    """Table IV: every lesson triggered and resolved on the substrate."""
+    table = TableResult(
+        ident="Table IV",
+        title="Lessons of running in-memory workflows (executed)",
+        columns=["issue", "failure reproduced", "resolve demonstrated",
+                 "suggested resolve"],
+    )
+    for lesson in LESSONS:
+        if run:
+            trigger_err = lesson.trigger()
+            resolve_err = lesson.resolve()
+        else:
+            trigger_err = resolve_err = "skipped"
+        table.add(
+            issue=lesson.issue,
+            **{
+                "failure reproduced": "yes" if trigger_err is None else trigger_err,
+                "resolve demonstrated": "yes" if resolve_err is None else resolve_err,
+                "suggested resolve": lesson.resolve_description,
+            },
+        )
+    return table

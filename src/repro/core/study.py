@@ -1,0 +1,82 @@
+"""The study orchestrator: rerun the paper's whole evaluation.
+
+:class:`Study` reruns every figure and table and renders a report —
+the reproduction's equivalent of the paper's Sections III and IV.
+``python -m repro.core.study`` prints the fast variant.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import figures
+from .conclusions import conclusions
+from .configs import table1_build_configs, table2_workflows
+from .findings import table5_findings
+from .portability import table_portability
+from .results import TableResult
+from .robustness import table4_robustness
+from .usability import table3_usability
+
+
+class Study:
+    """Reruns the paper's evaluation on the simulated substrate."""
+
+    def __init__(self, full: bool = False, verify_findings: bool = False) -> None:
+        self.full = full
+        self.verify_findings = verify_findings
+        self.results: Dict[str, TableResult] = {}
+
+    def experiments(self) -> Dict[str, Callable[[], TableResult]]:
+        """Experiment id -> runner, in paper order."""
+        return {
+            "fig2a": lambda: figures.fig2_end_to_end("lammps", full=self.full),
+            "fig2b": lambda: figures.fig2_end_to_end("laplace", full=self.full),
+            "fig3": figures.fig3_problem_size,
+            "fig4": figures.fig4_rdma_limits,
+            "fig5": figures.fig5_memory_timeline,
+            "fig6": figures.fig6_index_cost,
+            "fig7": figures.fig7_memory_breakdown,
+            "fig8": figures.fig8_layout_mapping,
+            "fig9": figures.fig9_layout_impact,
+            "fig10": figures.fig10_transport,
+            "fig11": figures.fig11_decaf_servers,
+            "fig12": figures.fig12_dataspaces_servers,
+            "fig13": figures.fig13_shared_memory,
+            "table1": table1_build_configs,
+            "table2": table2_workflows,
+            "table3": table3_usability,
+            "table4": table4_robustness,
+            "table5": lambda: table5_findings(verify=self.verify_findings),
+            "portability": table_portability,
+            "conclusions": conclusions,
+        }
+
+    def run(self, only: Optional[List[str]] = None) -> Dict[str, TableResult]:
+        """Run all (or the selected) experiments; returns id -> result."""
+        for ident, runner in self.experiments().items():
+            if only is not None and ident not in only:
+                continue
+            self.results[ident] = runner()
+        return self.results
+
+    def report(self) -> str:
+        """Render every collected result."""
+        blocks = [result.render() for result in self.results.values()]
+        return "\n\n".join(blocks)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    full = "--full" in argv
+    verify = "--verify-findings" in argv
+    only = [a for a in argv if not a.startswith("--")] or None
+    study = Study(full=full, verify_findings=verify)
+    study.run(only=only)
+    print(study.report())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""Simulated HPC substrate: machines, nodes, networks, RDMA, DRC,
+sockets, Lustre and memory tracking.
+
+This package substitutes for the physical Titan and Cori systems the
+paper ran on (see DESIGN.md, "Substitutions").
+"""
+
+from .cluster import Cluster, Placement, RankLocation
+from .drc import Credential, DrcService
+from .gpu import GpuDevice, stage_from_gpu, stage_from_gpu_direct
+from .failures import (
+    DataLoss,
+    DimensionOverflow,
+    DrcOverload,
+    DrcPolicyViolation,
+    HpcError,
+    OutOfMemory,
+    OutOfRdmaHandlers,
+    OutOfRdmaMemory,
+    NodeFailure,
+    OutOfSockets,
+    SchedulerPolicyViolation,
+    TransportError,
+)
+from .lustre import LustreFile, LustreFilesystem
+from .machines import (
+    CORI,
+    MACHINES,
+    TITAN,
+    InterconnectSpec,
+    LustreSpec,
+    MachineSpec,
+    NodeSpec,
+    get_machine,
+)
+from .memtrack import Allocation, MemoryTracker
+from .network import BandwidthPipe, Link
+from .node import Node
+from .rdma import RdmaHandle, RdmaPool
+from .sockets import Connection, SocketTable
+from .topology import Topology3dTorus, TopologyDragonfly, make_topology
+from .units import GB, KB, MB, PB, TB, UINT32_MAX, UINT64_MAX, fmt_bytes
+
+__all__ = [
+    "Allocation",
+    "BandwidthPipe",
+    "CORI",
+    "Cluster",
+    "Connection",
+    "Credential",
+    "DataLoss",
+    "DimensionOverflow",
+    "DrcOverload",
+    "DrcPolicyViolation",
+    "DrcService",
+    "GB",
+    "GpuDevice",
+    "HpcError",
+    "InterconnectSpec",
+    "KB",
+    "Link",
+    "LustreFile",
+    "LustreFilesystem",
+    "LustreSpec",
+    "MACHINES",
+    "MB",
+    "MachineSpec",
+    "MemoryTracker",
+    "Node",
+    "NodeFailure",
+    "NodeSpec",
+    "OutOfMemory",
+    "OutOfRdmaHandlers",
+    "OutOfRdmaMemory",
+    "OutOfSockets",
+    "PB",
+    "Placement",
+    "RankLocation",
+    "RdmaHandle",
+    "RdmaPool",
+    "SchedulerPolicyViolation",
+    "SocketTable",
+    "TB",
+    "TITAN",
+    "Topology3dTorus",
+    "TopologyDragonfly",
+    "TransportError",
+    "UINT32_MAX",
+    "UINT64_MAX",
+    "fmt_bytes",
+    "get_machine",
+    "make_topology",
+    "stage_from_gpu",
+    "stage_from_gpu_direct",
+]

@@ -1,0 +1,173 @@
+"""A machine instance: nodes, interconnect links, Lustre, DRC, placement.
+
+:class:`Cluster` instantiates one of the catalog machines
+(:data:`~repro.hpc.machines.TITAN` or :data:`~repro.hpc.machines.CORI`)
+inside a simulation environment, creating nodes lazily so that
+(8192, 4096)-processor experiments stay cheap.
+
+:class:`Placement` maps MPI ranks of the workflow components
+(simulation, analytics, staging servers) onto nodes, honoring each
+machine's scheduling policies: Titan refuses node sharing between jobs
+and Cori refuses heterogeneous (MPMD) launches (Finding 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim import Environment
+from .drc import DrcService
+from .failures import SchedulerPolicyViolation
+from .lustre import LustreFilesystem
+from .machines import MachineSpec
+from .network import Link
+from .node import Node
+from .topology import make_topology
+
+
+class Cluster:
+    """One booted machine inside a simulation environment."""
+
+    def __init__(self, env: Environment, spec: MachineSpec) -> None:
+        self.env = env
+        self.spec = spec
+        self._nodes: Dict[int, Node] = {}
+        self.topology = make_topology(spec.interconnect.topology, spec.num_nodes)
+        self.lustre = LustreFilesystem(env, spec.lustre)
+        self.drc: Optional[DrcService] = (
+            DrcService(env, max_pending=spec.drc_max_pending)
+            if spec.interconnect.requires_drc
+            else None
+        )
+
+    def node(self, node_id: int) -> Node:
+        """The node with ``node_id``, created on first use."""
+        if node_id < 0 or node_id >= self.spec.num_nodes:
+            raise ValueError(
+                f"node {node_id} out of range for {self.spec.name} "
+                f"({self.spec.num_nodes} nodes)"
+            )
+        node = self._nodes.get(node_id)
+        if node is None:
+            node = Node(self.env, node_id, self.spec.node)
+            self._nodes[node_id] = node
+        return node
+
+    @property
+    def booted_nodes(self) -> List[Node]:
+        """Nodes that have been touched so far."""
+        return list(self._nodes.values())
+
+    def link(self, src: Node, dst: Node, overhead_factor: float = 1.0) -> Link:
+        """A transfer path between two nodes (or within one).
+
+        Wire latency scales with the topology hop count: on the 3D
+        torus distant nodes pay more; on the dragonfly everything is
+        at most three hops away.
+        """
+        if src is dst:
+            return Link(self.env, src.membus, dst.membus, latency=0.0,
+                        overhead_factor=overhead_factor)
+        hops = max(1, self.topology.hops(src.node_id, dst.node_id))
+        return Link(
+            self.env,
+            src.nic,
+            dst.nic,
+            latency=self.spec.interconnect.latency * hops,
+            overhead_factor=overhead_factor,
+        )
+
+
+@dataclass(frozen=True)
+class RankLocation:
+    """Where one MPI rank of a component lives."""
+
+    component: str
+    rank: int
+    node_id: int
+
+
+class Placement:
+    """Rank-to-node mapping for the coupled workflow components."""
+
+    def __init__(self, cluster: Cluster, shared_nodes: bool = False) -> None:
+        self.cluster = cluster
+        self.shared_nodes = shared_nodes
+        if shared_nodes and not cluster.spec.allows_node_sharing:
+            raise SchedulerPolicyViolation(
+                f"{cluster.spec.name} does not allow multiple jobs to share "
+                f"a compute node"
+            )
+        self._locations: Dict[str, List[RankLocation]] = {}
+        self._next_free_node = 0
+
+    def place(
+        self,
+        component: str,
+        nranks: int,
+        ranks_per_node: Optional[int] = None,
+        node_ids: Optional[List[int]] = None,
+    ) -> List[RankLocation]:
+        """Assign ``nranks`` ranks of ``component`` to nodes.
+
+        In dedicated mode each component gets its own node range; in
+        shared mode components are co-located from node 0 upward, so a
+        simulation rank and an analytics rank can land on one node and
+        exchange data through local memory (Figure 13).  ``node_ids``
+        pins each rank to an explicit node (shared mode only), e.g. to
+        co-locate readers with the writers whose data they consume.
+        """
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        if component in self._locations:
+            raise ValueError(f"component {component!r} already placed")
+
+        if node_ids is not None:
+            if not self.shared_nodes:
+                raise ValueError("explicit node_ids require shared mode")
+            if len(node_ids) != nranks:
+                raise ValueError(
+                    f"need {nranks} node ids, got {len(node_ids)}"
+                )
+            locations = [
+                RankLocation(component, rank, node_id)
+                for rank, node_id in enumerate(node_ids)
+            ]
+            self._locations[component] = locations
+            return locations
+
+        per_node = ranks_per_node or self.cluster.spec.node.cores
+        nodes_needed = -(-nranks // per_node)  # ceil division
+
+        if self.shared_nodes:
+            first = 0
+        else:
+            first = self._next_free_node
+            self._next_free_node += nodes_needed
+        if first + nodes_needed > self.cluster.spec.num_nodes:
+            raise SchedulerPolicyViolation(
+                f"not enough nodes on {self.cluster.spec.name} for "
+                f"{component}: need {nodes_needed} starting at {first}"
+            )
+
+        locations = [
+            RankLocation(component, rank, first + rank // per_node)
+            for rank in range(nranks)
+        ]
+        self._locations[component] = locations
+        return locations
+
+    def locations(self, component: str) -> List[RankLocation]:
+        """The placed ranks of ``component``."""
+        try:
+            return self._locations[component]
+        except KeyError:
+            raise KeyError(f"component {component!r} was never placed") from None
+
+    def node_of(self, component: str, rank: int) -> Node:
+        """The node hosting ``component``'s ``rank``."""
+        return self.cluster.node(self.locations(component)[rank].node_id)
+
+    def components(self) -> List[str]:
+        return list(self._locations)

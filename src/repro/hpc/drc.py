@@ -1,0 +1,104 @@
+"""Dynamic RDMA Credentials (DRC) service model.
+
+On Cori, RDMA-capable workflows must obtain credentials from the DRC
+service before communicating.  The paper reports two DRC-induced
+behaviours we reproduce:
+
+* the service is a *single entity* — "a large scientific workflow may
+  overwhelm the DRC" — which made both workflows fail at (8192, 4096)
+  on Cori (Section III-B1, Table IV);
+* by default "DRC does not allow multiple jobs on the same node to use
+  the same credential to access a shared network domain, unless its
+  node-insecure option is enabled" (Finding 5), which forced the
+  shared-memory runs of Figure 13 onto sockets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Set
+
+from ..sim import Environment, Resource
+from .failures import DrcOverload, DrcPolicyViolation
+
+
+class Credential:
+    """An RDMA credential granted to one job."""
+
+    __slots__ = ("job_id", "token")
+
+    def __init__(self, job_id: str, token: int) -> None:
+        self.job_id = job_id
+        self.token = token
+
+    def __repr__(self) -> str:
+        return f"<Credential job={self.job_id} token={self.token}>"
+
+
+class DrcService:
+    """The single, centrally-deployed credential server."""
+
+    def __init__(
+        self,
+        env: Environment,
+        max_pending: int = 8192,
+        service_time: float = 0.0005,
+        node_insecure: bool = False,
+    ) -> None:
+        self.env = env
+        self.max_pending = max_pending
+        self.service_time = service_time
+        self.node_insecure = node_insecure
+        self._server = Resource(env, capacity=1)
+        self._pending = 0
+        self._next_token = 0
+        #: node_id -> set of job_ids holding a credential on that node
+        self._node_jobs: Dict[int, Set[str]] = {}
+        self.requests_served = 0
+        self.requests_failed = 0
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued or in service."""
+        return self._pending
+
+    def acquire(self, job_id: str, node_id: int) -> Generator:
+        """Process: acquire a credential for ``job_id`` on ``node_id``.
+
+        Raises :class:`DrcOverload` when the pending-request backlog
+        exceeds ``max_pending`` and :class:`DrcPolicyViolation` when a
+        second job tries to use RDMA on an already-claimed node without
+        the node-insecure option.
+        """
+        holders = self._node_jobs.setdefault(node_id, set())
+        if holders and job_id not in holders and not self.node_insecure:
+            self.requests_failed += 1
+            raise DrcPolicyViolation(
+                f"node {node_id} already holds a credential for job(s) "
+                f"{sorted(holders)}; enable node-insecure to share"
+            )
+
+        self._pending += 1
+        if self._pending > self.max_pending:
+            self._pending -= 1
+            self.requests_failed += 1
+            raise DrcOverload(
+                f"DRC backlog {self._pending + 1} exceeds {self.max_pending} "
+                f"(job {job_id})"
+            )
+        try:
+            with self._server.request() as req:
+                yield req
+                yield self.env.timeout(self.service_time)
+        finally:
+            self._pending -= 1
+
+        holders.add(job_id)
+        self._next_token += 1
+        self.requests_served += 1
+        return Credential(job_id, self._next_token)
+
+    def release(self, credential: Credential, node_id: int) -> None:
+        """Return a credential for one node (idempotent per job)."""
+        holders = self._node_jobs.get(node_id)
+        if holders is not None:
+            holders.discard(credential.job_id)

@@ -1,0 +1,90 @@
+"""Failure taxonomy of the study.
+
+Table IV of the paper catalogs the failure classes encountered when
+running in-memory workflows at scale.  Every class is a first-class
+exception here so that experiments and tests can assert on the *same*
+failure the paper reports.
+"""
+
+from __future__ import annotations
+
+
+class HpcError(Exception):
+    """Base class for all simulated HPC runtime failures."""
+
+
+class OutOfRdmaMemory(HpcError):
+    """RDMA registration exceeded the node's registrable capacity.
+
+    Paper: "If requesting more RDMA resources than what is available in
+    the system, then the acquire operation will fail and crash the
+    application." (Section III-B1)
+    """
+
+
+class OutOfRdmaHandlers(HpcError):
+    """The per-node count of RDMA memory handlers is exhausted.
+
+    Paper: at most 3,675 concurrent handlers on Titan for requests
+    below 512 KB (Figure 4).
+    """
+
+
+class DimensionOverflow(HpcError):
+    """A dataset dimension overflowed a 32-bit unsigned integer.
+
+    Paper, Table IV: "The dimension size can be overflown, if it is set
+    to 32-bit unsigned integer.  Suggested resolve: switch to 64-bit
+    unsigned long int."
+    """
+
+
+class OutOfMemory(HpcError):
+    """A node or process exceeded its main-memory budget."""
+
+
+class OutOfSockets(HpcError):
+    """Socket descriptors were depleted on a compute node."""
+
+
+class DrcOverload(HpcError):
+    """The (single) DRC credential service was overwhelmed.
+
+    Paper: "For a large-scale run that issues large amounts of parallel
+    requests, the DRC server can be overwhelmed and result in failures."
+    """
+
+
+class DrcPolicyViolation(HpcError):
+    """DRC refused shared access between jobs on one node.
+
+    Paper, Finding 5: "DRC does not allow multiple jobs on the same node
+    to use the same credential ... unless its node-insecure option is
+    enabled."
+    """
+
+
+class SchedulerPolicyViolation(HpcError):
+    """The job scheduler rejected the requested placement.
+
+    E.g. Titan does not allow multiple jobs to share a compute node, and
+    Cori does not support heterogeneous (MPMD wrapped) launches.
+    """
+
+
+class TransportError(HpcError):
+    """A generic data-movement failure (connection refused, etc.)."""
+
+
+class NodeFailure(HpcError):
+    """A compute node crashed (Section IV-C: "machine failures are
+    quite common in the extreme-scale cluster")."""
+
+
+class DataLoss(HpcError):
+    """Staged data became unreachable after a node failure.
+
+    The paper's robustness assessment notes that none of the studied
+    libraries construct resilience mechanisms; without replication a
+    staging-server crash loses the staged versions.
+    """

@@ -1,0 +1,111 @@
+"""GPU memory and the staging portability gap (Section IV-B).
+
+The paper's portability assessment found that "GPU is mostly not
+supported by the current in-memory libraries, and data staging is
+assumed to be done at main memory ... GPU-enabled workflows are
+required to take care of the movement between GPU and CPU memory", and
+names NVLink-style direct GPU staging "an attractive area for future
+research".
+
+This module implements both sides of that observation:
+
+* :class:`GpuDevice` — Titan's K20X-class accelerator: 6 GB of device
+  memory and explicit DMA copies over PCIe;
+* :func:`stage_from_gpu` — what today's libraries force on users: a
+  device-to-host copy *before* every put (and host-to-device after
+  every get);
+* :func:`stage_from_gpu_direct` — the future-work path: GPUDirect-style
+  staging straight out of device memory over an NVLink-class fabric,
+  implemented here so the benefit can be quantified
+  (``benchmarks/test_extension_gpu.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Environment
+from .memtrack import MemoryTracker
+from .network import BandwidthPipe
+from .node import Node
+from .units import GB
+
+#: PCIe gen2 x16 effective bandwidth (Titan's K20X attach point)
+PCIE_BW = 6 * GB
+#: an NVLink-class direct fabric (the future-work scenario)
+NVLINK_BW = 40 * GB
+
+
+class GpuDevice:
+    """One accelerator attached to a compute node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        memory_bytes: int = 6 * GB,
+        pcie_bw: float = PCIE_BW,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.memory = MemoryTracker(env, f"gpu@node{node.node_id}",
+                                    limit=memory_bytes)
+        self.pcie = BandwidthPipe(env, pcie_bw, name=f"pcie{node.node_id}")
+        self.d2h_bytes = 0.0
+        self.h2d_bytes = 0.0
+
+    def allocate(self, nbytes: float, category: str = "device"):
+        """Claim device memory (6 GB on Titan's K20X — it runs out)."""
+        return self.memory.allocate(nbytes, category)
+
+    def copy_to_host(self, nbytes: float) -> Generator:
+        """Process: DMA device -> host over PCIe."""
+        yield self.env.process(self.pcie.transmit(nbytes))
+        self.d2h_bytes += nbytes
+
+    def copy_to_device(self, nbytes: float) -> Generator:
+        """Process: DMA host -> device over PCIe."""
+        yield self.env.process(self.pcie.transmit(nbytes))
+        self.h2d_bytes += nbytes
+
+
+def stage_from_gpu(
+    gpu: GpuDevice,
+    library,
+    sim_actor: int,
+    region,
+    version: int,
+) -> Generator:
+    """Process: the status quo — D2H copy, then a host-memory put.
+
+    This is the extra step the paper says GPU workflows must do
+    themselves; the host-side staging buffer also costs host RAM.
+    """
+    nbytes = library.variable.region_bytes(region)
+    host_buffer = gpu.node.memory.allocate(
+        nbytes / library.topology.sim_scale, "gpu-staging-bounce"
+    )
+    try:
+        yield from gpu.copy_to_host(library._wire_bytes(nbytes))
+        yield gpu.env.process(library.put(sim_actor, region, version))
+    finally:
+        gpu.node.memory.free(host_buffer)
+
+
+def stage_from_gpu_direct(
+    gpu: GpuDevice,
+    library,
+    sim_actor: int,
+    region,
+    version: int,
+    fabric_bw: float = NVLINK_BW,
+) -> Generator:
+    """Process: the future-work path — stage straight from device memory.
+
+    No bounce buffer, no PCIe crossing: the device feeds the NIC over
+    an NVLink-class fabric (modeled as a faster on-node hop).
+    """
+    nbytes = library.variable.region_bytes(region)
+    fabric_time = library._wire_bytes(nbytes) / fabric_bw
+    yield gpu.env.timeout(fabric_time)
+    yield gpu.env.process(library.put(sim_actor, region, version))

@@ -1,0 +1,130 @@
+"""Lustre parallel filesystem model (the MPI-IO baseline substrate).
+
+Two effects dominate the paper's MPI-IO results (Figure 2):
+
+* **fixed OST bandwidth** — "there are only a fixed amount of Lustre
+  storage targets available", so aggregate write bandwidth does not
+  scale with the processor count and end-to-end time grows linearly;
+* **metadata service serialization** — "a very limited amount of Lustre
+  metadata servers are deployed, with four on Titan and one on Cori".
+
+We model the OST pool as a set of :class:`BandwidthPipe` objects and the
+MDS as a small :class:`Resource` through which every file open/create
+must pass.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..sim import Environment, Resource
+from .machines import LustreSpec
+from .network import BandwidthPipe
+
+
+class LustreFile:
+    """A striped file handle."""
+
+    __slots__ = ("fs", "path", "stripe_count", "stripe_size", "first_ost")
+
+    def __init__(
+        self,
+        fs: "LustreFilesystem",
+        path: str,
+        stripe_count: int,
+        stripe_size: int,
+        first_ost: int,
+    ) -> None:
+        self.fs = fs
+        self.path = path
+        self.stripe_count = stripe_count
+        self.stripe_size = stripe_size
+        self.first_ost = first_ost
+
+
+class LustreFilesystem:
+    """A shared Lustre instance for one machine."""
+
+    def __init__(self, env: Environment, spec: LustreSpec) -> None:
+        self.env = env
+        self.spec = spec
+        per_ost_bw = spec.peak_bandwidth / spec.num_osts
+        self._osts: List[BandwidthPipe] = [
+            BandwidthPipe(env, per_ost_bw, name=f"ost{i}")
+            for i in range(spec.num_osts)
+        ]
+        self._mds = Resource(env, capacity=spec.num_mds)
+        self._next_ost = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.files_created = 0
+
+    def open(self, path: str, stripe_count: int = -1, stripe_size: int = 1 << 20) -> Generator:
+        """Process: create/open a file (one MDS metadata operation).
+
+        ``stripe_count=-1`` stripes across all OSTs, matching the
+        paper's ``lfs setstripe -stripe-count -1`` runtime setting.
+        """
+        if stripe_count == -1 or stripe_count > self.spec.num_osts:
+            stripe_count = self.spec.num_osts
+        if stripe_count <= 0:
+            raise ValueError(f"invalid stripe_count {stripe_count}")
+        with self._mds.request() as req:
+            yield req
+            yield self.env.timeout(self.spec.mds_op_time)
+        first_ost = self._next_ost
+        self._next_ost = (self._next_ost + stripe_count) % self.spec.num_osts
+        self.files_created += 1
+        return LustreFile(self, path, stripe_count, stripe_size, first_ost)
+
+    def _stripe_transfers(self, handle: LustreFile, offset: int, nbytes: int):
+        """Split a contiguous request into (ost, bytes) pieces."""
+        pieces = []
+        stripe = handle.stripe_size
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            stripe_index = pos // stripe
+            ost = (handle.first_ost + stripe_index % handle.stripe_count) % self.spec.num_osts
+            in_stripe = stripe - (pos % stripe)
+            chunk = min(remaining, in_stripe)
+            pieces.append((ost, chunk))
+            pos += chunk
+            remaining -= chunk
+        # Merge adjacent pieces landing on the same OST to bound event count.
+        merged = []
+        for ost, chunk in pieces:
+            if merged and merged[-1][0] == ost:
+                merged[-1] = (ost, merged[-1][1] + chunk)
+            else:
+                merged.append((ost, chunk))
+        return merged
+
+    def write(self, handle: LustreFile, offset: int, nbytes: int) -> Generator:
+        """Process: write ``nbytes`` at ``offset`` through the OST pipes."""
+        if nbytes < 0:
+            raise ValueError(f"negative write size {nbytes}")
+        transfers = [
+            self.env.process(self._osts[ost].transmit(chunk))
+            for ost, chunk in self._stripe_transfers(handle, offset, nbytes)
+        ]
+        if transfers:
+            yield self.env.all_of(transfers)
+        self.bytes_written += nbytes
+
+    def read(self, handle: LustreFile, offset: int, nbytes: int) -> Generator:
+        """Process: read ``nbytes`` at ``offset`` through the OST pipes."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size {nbytes}")
+        transfers = [
+            self.env.process(self._osts[ost].transmit(chunk))
+            for ost, chunk in self._stripe_transfers(handle, offset, nbytes)
+        ]
+        if transfers:
+            yield self.env.all_of(transfers)
+        self.bytes_read += nbytes
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Peak bandwidth of the whole OST pool, bytes/second."""
+        return self.spec.peak_bandwidth

@@ -1,0 +1,166 @@
+"""Machine catalog: the two supercomputers of the study.
+
+All numbers are taken from Section III-A of the paper:
+
+* **Titan** (ORNL): 18,688 nodes, 16-core 2.2 GHz AMD Opteron, 32 GB
+  RAM, Cray Gemini 3D torus at 5.5 GB/s peak injection, Lustre with
+  1 TB/s peak and 4 metadata servers.  RDMA (uGNI) is capacity-limited
+  to 1,843 MB and 3,675 memory handlers per node (Figure 4).  The
+  scheduler does not allow two jobs to share a node.
+* **Cori KNL** (NERSC): 9,688 KNL nodes, 68-core 1.4 GHz Xeon Phi,
+  96 GB RAM, Cray Aries dragonfly at 15.6 GB/s peak injection, Lustre
+  with 744 GB/s over 248 OSTs and 1 metadata server.  RDMA requires
+  credentials from the (single) DRC service.  Nodes may be shared by
+  jobs, but heterogeneous (MPMD) launches are not supported.
+
+The paper notes Cori KNL's core frequency is 63.6 % of Titan's, which
+makes compute-bound phases proportionally slower — we model exactly
+that via ``relative_core_speed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .units import GB, MB, PB, TB
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one compute node."""
+
+    cores: int
+    core_ghz: float
+    ram_bytes: int
+    #: peak NIC injection bandwidth, bytes/second
+    injection_bw: float
+    #: registrable RDMA memory per node, bytes (None = effectively unbounded)
+    rdma_capacity: Optional[int]
+    #: maximum concurrent RDMA memory handlers per node
+    rdma_max_handlers: Optional[int]
+    #: socket descriptors available to a staging server process
+    max_sockets: int = 2048
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Static description of the system interconnect."""
+
+    name: str
+    topology: str
+    #: one-way small-message latency, seconds
+    latency: float
+    #: native RDMA API available ("ugni", "verbs", ...)
+    rdma_api: str
+    #: whether RDMA communication requires DRC credentials
+    requires_drc: bool
+
+
+@dataclass(frozen=True)
+class LustreSpec:
+    """Static description of the parallel (Lustre) filesystem."""
+
+    num_osts: int
+    #: aggregate peak bandwidth, bytes/second
+    peak_bandwidth: float
+    capacity_bytes: int
+    num_mds: int
+    #: seconds per metadata operation (file open/create/stat) under
+    #: production load — dominated by lock traffic and journal commits
+    mds_op_time: float = 0.008
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete machine: nodes + interconnect + filesystem + policies."""
+
+    name: str
+    num_nodes: int
+    node: NodeSpec
+    interconnect: InterconnectSpec
+    lustre: LustreSpec
+    #: can two jobs (simulation + analytics) share one node?
+    allows_node_sharing: bool
+    #: can one launch wrap several executables in a single MPI job (MPMD)?
+    supports_heterogeneous_launch: bool
+    #: compute speed relative to Titan (Titan = 1.0)
+    relative_core_speed: float = 1.0
+    #: maximum outstanding requests the DRC service tolerates
+    drc_max_pending: int = field(default=8192)
+
+    def compute_time(self, titan_seconds: float) -> float:
+        """Scale a Titan-calibrated compute time to this machine."""
+        return titan_seconds / self.relative_core_speed
+
+
+TITAN = MachineSpec(
+    name="Titan",
+    num_nodes=18688,
+    node=NodeSpec(
+        cores=16,
+        core_ghz=2.2,
+        ram_bytes=32 * GB,
+        injection_bw=5.5 * GB,
+        rdma_capacity=1843 * MB,
+        rdma_max_handlers=3675,
+    ),
+    interconnect=InterconnectSpec(
+        name="Gemini",
+        topology="3d-torus",
+        latency=1.5e-6,
+        rdma_api="ugni",
+        requires_drc=False,
+    ),
+    lustre=LustreSpec(
+        num_osts=1008,
+        peak_bandwidth=1 * TB,
+        capacity_bytes=32 * PB,
+        num_mds=4,
+    ),
+    allows_node_sharing=False,
+    supports_heterogeneous_launch=True,
+    relative_core_speed=1.0,
+)
+
+CORI = MachineSpec(
+    name="Cori",
+    num_nodes=9688,
+    node=NodeSpec(
+        cores=68,
+        core_ghz=1.4,
+        ram_bytes=96 * GB,
+        injection_bw=15.6 * GB,
+        # Cori's registrable memory is large; failures come from DRC instead.
+        rdma_capacity=64 * GB,
+        rdma_max_handlers=16384,
+    ),
+    interconnect=InterconnectSpec(
+        name="Aries",
+        topology="dragonfly",
+        latency=1.0e-6,
+        rdma_api="ugni",
+        requires_drc=True,
+    ),
+    lustre=LustreSpec(
+        num_osts=248,
+        peak_bandwidth=744 * GB,
+        capacity_bytes=30 * PB,
+        num_mds=1,
+    ),
+    allows_node_sharing=True,
+    supports_heterogeneous_launch=False,
+    relative_core_speed=1.4 / 2.2,  # 63.6 % of Titan, as stated in the paper
+)
+
+MACHINES = {"titan": TITAN, "cori": CORI}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine by (case-insensitive) name."""
+    try:
+        return MACHINES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+        ) from None

@@ -1,0 +1,112 @@
+"""Hierarchical memory tracking (the simulated Valgrind).
+
+The paper profiles memory "with millisecond resolution" using Valgrind
+(Figure 5) and breaks consumption down by component (Figure 7).  Here,
+every simulated process owns a :class:`MemoryTracker`; allocations carry
+a *category* label ("calculation", "staging", "buffering", "index", …)
+so breakdowns fall out for free.  Trackers can be chained to a parent
+(the compute node) whose limit models physical RAM; exceeding any limit
+in the chain raises :class:`~repro.hpc.failures.OutOfMemory`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim import Environment, TimeSeries
+from .failures import OutOfMemory
+from .units import fmt_bytes
+
+
+class Allocation:
+    """A live memory allocation; free it via :meth:`MemoryTracker.free`."""
+
+    __slots__ = ("tracker", "nbytes", "category", "freed")
+
+    def __init__(self, tracker: "MemoryTracker", nbytes: int, category: str) -> None:
+        self.tracker = tracker
+        self.nbytes = int(nbytes)
+        self.category = category
+        self.freed = False
+
+    def __repr__(self) -> str:
+        state = "freed" if self.freed else "live"
+        return f"<Allocation {fmt_bytes(self.nbytes)} [{self.category}] {state}>"
+
+
+class MemoryTracker:
+    """Tracks live allocations of one simulated entity over time."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        limit: float = float("inf"),
+        parent: Optional["MemoryTracker"] = None,
+    ) -> None:
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        self.env = env
+        self.name = name
+        self.limit = limit
+        self.parent = parent
+        self.total = 0
+        self.by_category: Dict[str, int] = {}
+        self.series = TimeSeries(name)
+        self.peak = 0
+
+    def _headroom_ok(self, nbytes: int) -> bool:
+        tracker: Optional[MemoryTracker] = self
+        while tracker is not None:
+            if tracker.total + nbytes > tracker.limit:
+                return False
+            tracker = tracker.parent
+        return True
+
+    def allocate(self, nbytes: float, category: str = "general") -> Allocation:
+        """Claim ``nbytes``; raises :class:`OutOfMemory` over any limit."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"negative allocation {nbytes}")
+        if not self._headroom_ok(nbytes):
+            raise OutOfMemory(
+                f"{self.name}: allocating {fmt_bytes(nbytes)} [{category}] "
+                f"exceeds a memory limit (live={fmt_bytes(self.total)}, "
+                f"limit={fmt_bytes(self.limit)})"
+            )
+        alloc = Allocation(self, nbytes, category)
+        self._apply(nbytes, category)
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        """Release a previous allocation (idempotent)."""
+        if alloc.freed:
+            return
+        if alloc.tracker is not self:
+            raise ValueError("allocation belongs to a different tracker")
+        alloc.freed = True
+        self._apply(-alloc.nbytes, alloc.category)
+
+    def _apply(self, delta: int, category: str) -> None:
+        tracker: Optional[MemoryTracker] = self
+        while tracker is not None:
+            tracker.total += delta
+            tracker.by_category[category] = tracker.by_category.get(category, 0) + delta
+            if tracker.total > tracker.peak:
+                tracker.peak = tracker.total
+            tracker.series.record(tracker.env.now, tracker.total)
+            tracker = tracker.parent
+
+    def category_total(self, category: str) -> int:
+        """Live bytes currently attributed to ``category``."""
+        return self.by_category.get(category, 0)
+
+    def breakdown(self) -> Dict[str, int]:
+        """Live bytes per category (zero-valued categories dropped)."""
+        return {cat: n for cat, n in self.by_category.items() if n > 0}
+
+    def __repr__(self) -> str:
+        return (
+            f"<MemoryTracker {self.name!r} live={fmt_bytes(self.total)} "
+            f"peak={fmt_bytes(self.peak)}>"
+        )

@@ -1,0 +1,87 @@
+"""Network building blocks: bandwidth pipes and node-to-node transfers.
+
+The central performance abstraction is :class:`BandwidthPipe`, a FIFO
+link of fixed rate.  A transfer holds the pipe for ``nbytes / rate``
+simulated seconds, so concurrent transfers through one endpoint
+serialize — exactly the effect behind the paper's N-to-1 findings
+(Findings 1 and 3): when every simulation processor must stage into the
+*same* server, all transfers queue on that server's injection pipe.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Environment, Resource
+
+
+class BandwidthPipe:
+    """A FIFO link with a fixed data rate (bytes/second)."""
+
+    def __init__(self, env: Environment, rate: float, name: str = "") -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.env = env
+        self.rate = float(rate)
+        self.name = name
+        self._res = Resource(env, capacity=1)
+        self.bytes_moved = 0.0
+        self.busy_time = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        """Transfers currently waiting for the pipe."""
+        return self._res.queue_length
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Pure serialization time for ``nbytes`` (no queueing)."""
+        return nbytes / self.rate
+
+    def transmit(self, nbytes: float) -> Generator:
+        """Process: occupy the pipe for ``nbytes`` worth of time."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        with self._res.request() as req:
+            yield req
+            duration = self.transfer_time(nbytes)
+            yield self.env.timeout(duration)
+            self.bytes_moved += nbytes
+            self.busy_time += duration
+
+
+class Link:
+    """A point-to-point transfer path between two NIC pipes.
+
+    Data crosses the sender's injection pipe and the receiver's
+    injection pipe; the two pipes are held one after the other (store
+    and forward at message granularity), plus a one-way latency.  A
+    software ``overhead_factor`` models extra per-byte cost, e.g. the
+    memory copies across the TCP stack (Finding 4).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        src: BandwidthPipe,
+        dst: BandwidthPipe,
+        latency: float,
+        overhead_factor: float = 1.0,
+    ) -> None:
+        if overhead_factor < 1.0:
+            raise ValueError("overhead_factor must be >= 1.0")
+        self.env = env
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        self.overhead_factor = overhead_factor
+
+    def send(self, nbytes: float) -> Generator:
+        """Process: move ``nbytes`` from src to dst."""
+        effective = nbytes * self.overhead_factor
+        if self.src is self.dst:
+            # Intra-node: only one pipe crossing (a local memory copy).
+            yield self.env.process(self.src.transmit(effective))
+            return
+        yield self.env.timeout(self.latency)
+        yield self.env.process(self.src.transmit(effective))
+        yield self.env.process(self.dst.transmit(effective))

@@ -1,0 +1,59 @@
+"""A compute node: NIC, RAM, RDMA pool and socket tables."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim import Environment
+from .machines import NodeSpec
+from .memtrack import MemoryTracker
+from .network import BandwidthPipe
+from .rdma import RdmaPool
+from .sockets import SocketTable
+
+
+class Node:
+    """One simulated compute node of a machine."""
+
+    def __init__(self, env: Environment, node_id: int, spec: NodeSpec) -> None:
+        self.env = env
+        self.node_id = node_id
+        self.spec = spec
+        #: cleared when a fault is injected (Section IV-C resilience)
+        self.alive = True
+        #: NIC injection pipe: every off-node byte crosses this.
+        self.nic = BandwidthPipe(env, spec.injection_bw, name=f"nic{node_id}")
+        #: local memory bus for intra-node (shared-memory) copies; DDR
+        #: streams far faster than the NIC injects.
+        self.membus = BandwidthPipe(env, spec.injection_bw * 8, name=f"mem{node_id}")
+        #: physical RAM accounting for all processes placed here.
+        self.memory = MemoryTracker(env, f"node{node_id}", limit=spec.ram_bytes)
+        #: registrable RDMA memory (uGNI-style).
+        self.rdma = RdmaPool(
+            env, spec.rdma_capacity, spec.rdma_max_handlers, name=f"rdma{node_id}"
+        )
+        self._sockets: Dict[str, SocketTable] = {}
+
+    def socket_table(self, owner: str) -> SocketTable:
+        """The descriptor table of process ``owner`` on this node."""
+        table = self._sockets.get(owner)
+        if table is None:
+            table = SocketTable(
+                f"node{self.node_id}/{owner}", self.spec.max_sockets
+            )
+            self._sockets[owner] = table
+        return table
+
+    def process_memory(self, owner: str) -> MemoryTracker:
+        """A per-process tracker chained to this node's RAM limit."""
+        return MemoryTracker(
+            self.env, f"node{self.node_id}/{owner}", parent=self.memory
+        )
+
+    def fail(self) -> None:
+        """Crash the node: everything resident here is gone."""
+        self.alive = False
+
+    def __repr__(self) -> str:
+        state = "" if self.alive else " DEAD"
+        return f"<Node {self.node_id}{state}>"

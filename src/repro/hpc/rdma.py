@@ -1,0 +1,139 @@
+"""uGNI-style RDMA memory registration.
+
+The paper (Section III-B1, Figure 4) characterizes Cray RDMA on Titan:
+
+* registration is *synchronous* and *fails hard* — "if requesting more
+  RDMA resources than what is available in the system, then the acquire
+  operation will fail and crash the application";
+* at most **3,675** memory handlers can be live concurrently;
+* registrable capacity is **1,843 MB** per node, which binds for
+  requests larger than ~512 KB.
+
+:class:`RdmaPool` reproduces both limits.  :meth:`RdmaPool.register`
+raises immediately (no waiting), mirroring uGNI semantics; a cooperative
+"wait and retry" layer — the paper's suggested resolve in Table IV — is
+provided by :meth:`register_with_retry`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Set
+
+from ..sim import Environment, TimeSeries
+from .failures import OutOfRdmaHandlers, OutOfRdmaMemory
+from .units import fmt_bytes
+
+
+class RdmaHandle:
+    """A live RDMA memory registration."""
+
+    __slots__ = ("pool", "nbytes", "released")
+
+    def __init__(self, pool: "RdmaPool", nbytes: int) -> None:
+        self.pool = pool
+        self.nbytes = nbytes
+        self.released = False
+
+    def __repr__(self) -> str:
+        state = "released" if self.released else "live"
+        return f"<RdmaHandle {fmt_bytes(self.nbytes)} {state}>"
+
+
+class RdmaPool:
+    """Per-node RDMA-registrable memory with a handler-count limit."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: Optional[int],
+        max_handlers: Optional[int],
+        name: str = "rdma",
+    ) -> None:
+        self.env = env
+        self.capacity = float("inf") if capacity is None else int(capacity)
+        self.max_handlers = (
+            float("inf") if max_handlers is None else int(max_handlers)
+        )
+        self.name = name
+        self.registered = 0
+        self._handles: Set[RdmaHandle] = set()
+        self.series = TimeSeries(name)
+        self.failed_registrations = 0
+
+    @property
+    def num_handlers(self) -> int:
+        """Live registrations."""
+        return len(self._handles)
+
+    @property
+    def available(self) -> float:
+        """Registrable bytes remaining."""
+        return self.capacity - self.registered
+
+    def register(self, nbytes: float) -> RdmaHandle:
+        """Synchronously register memory; fails hard like uGNI."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"negative registration size {nbytes}")
+        if len(self._handles) + 1 > self.max_handlers:
+            self.failed_registrations += 1
+            raise OutOfRdmaHandlers(
+                f"{self.name}: handler limit {self.max_handlers} reached"
+            )
+        if self.registered + nbytes > self.capacity:
+            self.failed_registrations += 1
+            raise OutOfRdmaMemory(
+                f"{self.name}: registering {fmt_bytes(nbytes)} exceeds "
+                f"capacity ({fmt_bytes(self.registered)} of "
+                f"{fmt_bytes(self.capacity)} in use)"
+            )
+        handle = RdmaHandle(self, nbytes)
+        self._handles.add(handle)
+        self.registered += nbytes
+        self.series.record(self.env.now, self.registered)
+        return handle
+
+    def deregister(self, handle: RdmaHandle) -> None:
+        """Release a registration (idempotent)."""
+        if handle.released:
+            return
+        if handle.pool is not self:
+            raise ValueError("handle belongs to a different pool")
+        handle.released = True
+        self._handles.discard(handle)
+        self.registered -= handle.nbytes
+        self.series.record(self.env.now, self.registered)
+
+    def register_with_retry(
+        self,
+        nbytes: float,
+        retry_interval: float = 0.01,
+        max_retries: int = 1000,
+    ) -> Generator:
+        """Process: the Table IV "wait and re-try" resolve.
+
+        Instead of crashing on resource exhaustion, back off and retry
+        until the registration succeeds (or retries are exhausted).
+        Returns the handle as the process value.
+        """
+        attempts = 0
+        while True:
+            try:
+                return self.register(nbytes)
+            except (OutOfRdmaMemory, OutOfRdmaHandlers):
+                attempts += 1
+                if attempts > max_retries:
+                    raise
+                yield self.env.timeout(retry_interval)
+
+    def max_concurrent_registrations(self, request_size: int) -> int:
+        """Analytic maximum concurrent registrations of ``request_size``.
+
+        This is the quantity plotted in Figure 4: the handler limit for
+        small requests, the capacity bound for large ones.
+        """
+        if request_size <= 0:
+            raise ValueError("request_size must be positive")
+        by_capacity = int(self.capacity // request_size)
+        limit = self.max_handlers
+        return int(min(by_capacity, limit))

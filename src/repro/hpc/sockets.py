@@ -1,0 +1,82 @@
+"""TCP socket descriptor accounting.
+
+Section III-B5 reports that socket-based runs "failed to establish
+socket connections between the staging servers and simulation/analytics"
+beyond (1024, 512), because staging servers ran out of descriptors:
+a server needs sockets for (1) simulation clients staging data, (2)
+analytics clients retrieving data, and (3) peer servers exchanging
+metadata.  :class:`SocketTable` gives every process a bounded descriptor
+table; opening a connection consumes one descriptor on *each* end.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .failures import OutOfSockets
+
+
+class Connection:
+    """An open TCP connection between two socket tables."""
+
+    __slots__ = ("a", "b", "closed")
+
+    def __init__(self, a: "SocketTable", b: "SocketTable") -> None:
+        self.a = a
+        self.b = b
+        self.closed = False
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.a._release(self)
+        self.b._release(self)
+
+
+class SocketTable:
+    """Per-process descriptor table with a hard limit."""
+
+    def __init__(self, name: str, max_descriptors: int = 2048) -> None:
+        if max_descriptors <= 0:
+            raise ValueError("max_descriptors must be positive")
+        self.name = name
+        self.max_descriptors = max_descriptors
+        self._open: Set[Connection] = set()
+        self.peak = 0
+        self.failed_connects = 0
+
+    @property
+    def in_use(self) -> int:
+        return len(self._open)
+
+    @property
+    def available(self) -> int:
+        return self.max_descriptors - len(self._open)
+
+    def connect(self, peer: "SocketTable") -> Connection:
+        """Open a connection to ``peer``, consuming a descriptor on both ends."""
+        for side in (self, peer):
+            if side.in_use >= side.max_descriptors:
+                self.failed_connects += 1
+                raise OutOfSockets(
+                    f"{side.name}: descriptor table full "
+                    f"({side.in_use}/{side.max_descriptors}) while "
+                    f"connecting {self.name} -> {peer.name}"
+                )
+        conn = Connection(self, peer)
+        self._register(conn)
+        peer._register(conn)
+        return conn
+
+    def _register(self, conn: Connection) -> None:
+        self._open.add(conn)
+        self.peak = max(self.peak, len(self._open))
+
+    def _release(self, conn: Connection) -> None:
+        self._open.discard(conn)
+
+    def close_all(self) -> None:
+        """Close every connection this table participates in."""
+        for conn in list(self._open):
+            conn.close()

@@ -1,0 +1,107 @@
+"""Interconnect topologies: Gemini's 3D torus and Aries' dragonfly.
+
+Titan's Gemini network is "in 3D Torus"; Cori's Aries uses "the
+Dragonfly topology" (Section III-A).  The topology decides how many
+hops a message crosses, which scales the base wire latency:
+
+* **3D torus** — nodes live at integer coordinates of an
+  X x Y x Z grid with wraparound; the hop count is the torus Manhattan
+  distance.  Placement locality matters: neighboring node ids are
+  physically close.
+* **dragonfly** — all-to-all connected groups: 1 hop inside a group,
+  at most 3 (source router -> global link -> destination router)
+  between groups, plus one when adaptive routing detours.  Distance is
+  nearly flat — the property that lets Cori ignore placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Topology3dTorus:
+    """Cray Gemini-style 3D torus over ``dims`` = (X, Y, Z)."""
+
+    name = "3d-torus"
+
+    def __init__(self, dims: Tuple[int, int, int]) -> None:
+        if len(dims) != 3 or any(d < 1 for d in dims):
+            raise ValueError(f"torus dims must be 3 positive ints, got {dims}")
+        self.dims = tuple(dims)
+
+    @staticmethod
+    def for_node_count(num_nodes: int) -> "Topology3dTorus":
+        """A near-cubic torus sized for ``num_nodes``."""
+        side = max(1, round(num_nodes ** (1.0 / 3.0)))
+        x = side
+        y = side
+        z = max(1, -(-num_nodes // (x * y)))
+        return Topology3dTorus((x, y, z))
+
+    @property
+    def num_nodes(self) -> int:
+        x, y, z = self.dims
+        return x * y * z
+
+    def coordinates(self, node_id: int) -> Tuple[int, int, int]:
+        """Map a linear node id into torus coordinates."""
+        x, y, z = self.dims
+        if node_id < 0:
+            raise ValueError(f"negative node id {node_id}")
+        node_id %= self.num_nodes
+        return (node_id % x, (node_id // x) % y, node_id // (x * y))
+
+    @staticmethod
+    def _ring_distance(a: int, b: int, size: int) -> int:
+        d = abs(a - b)
+        return min(d, size - d)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Torus Manhattan distance between two node ids."""
+        if src == dst:
+            return 0
+        ca, cb = self.coordinates(src), self.coordinates(dst)
+        return sum(
+            self._ring_distance(a, b, s)
+            for a, b, s in zip(ca, cb, self.dims)
+        )
+
+    def diameter(self) -> int:
+        return sum(d // 2 for d in self.dims)
+
+
+class TopologyDragonfly:
+    """Cray Aries-style dragonfly: all-to-all groups of routers."""
+
+    name = "dragonfly"
+
+    def __init__(self, group_size: int = 96) -> None:
+        if group_size < 1:
+            raise ValueError("group_size must be positive")
+        self.group_size = group_size
+
+    def group_of(self, node_id: int) -> int:
+        if node_id < 0:
+            raise ValueError(f"negative node id {node_id}")
+        return node_id // self.group_size
+
+    def hops(self, src: int, dst: int) -> int:
+        """Minimal-path hops: 0 same node, 1 intra-group, 3 inter-group."""
+        if src == dst:
+            return 0
+        if self.group_of(src) == self.group_of(dst):
+            return 1
+        return 3  # router -> global link -> router
+
+    def diameter(self) -> int:
+        return 3
+
+
+def make_topology(name: str, num_nodes: int):
+    """Build the topology model for a machine."""
+    if name == "3d-torus":
+        return Topology3dTorus.for_node_count(num_nodes)
+    if name == "dragonfly":
+        return TopologyDragonfly()
+    raise ValueError(f"unknown topology {name!r}")

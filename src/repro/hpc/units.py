@@ -1,0 +1,20 @@
+"""Byte/size unit helpers used throughout the models and experiments."""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+PB = 1024 * TB
+
+UINT32_MAX = 2**32 - 1
+UINT64_MAX = 2**64 - 1
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count, e.g. ``fmt_bytes(3 * MB) == '3.0 MB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if abs(value) < 1024.0 or unit == "PB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

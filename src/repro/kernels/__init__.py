@@ -1,0 +1,49 @@
+"""Real numerical kernels (LJ MD, Jacobi Laplace, MSD, moment analysis)
+plus the calibrated cost models used by the at-scale benchmark runs."""
+
+from .analytics import (
+    MomentAccumulator,
+    combine_slab_moments,
+    mean_squared_displacement,
+    msd_series,
+    turbulence_moments,
+)
+from .costs import (
+    LAMMPS_COSTS,
+    LAPLACE_COSTS,
+    SYNTHETIC_COSTS,
+    ComputeCosts,
+    laplace_ana_step_for_size,
+    laplace_sim_step_for_size,
+)
+from .laplace import LaplaceSimulation, analytic_error, jacobi_step
+from .lj import LJSimulation, cubic_lattice, lj_forces
+
+__all__ = [
+    "ComputeCosts",
+    "LAMMPS_COSTS",
+    "LAPLACE_COSTS",
+    "LJSimulation",
+    "LaplaceSimulation",
+    "MomentAccumulator",
+    "SYNTHETIC_COSTS",
+    "analytic_error",
+    "combine_slab_moments",
+    "cubic_lattice",
+    "jacobi_step",
+    "laplace_ana_step_for_size",
+    "laplace_sim_step_for_size",
+    "lj_forces",
+    "mean_squared_displacement",
+    "msd_series",
+    "turbulence_moments",
+]
+
+from .laplace_mpi import (  # noqa: E402
+    ParallelLaplace,
+    gather_solution,
+    solve_parallel,
+    split_rows,
+)
+
+__all__ += ["ParallelLaplace", "gather_solution", "solve_parallel", "split_rows"]

@@ -1,0 +1,57 @@
+"""Titan-calibrated per-step compute cost models.
+
+The Figure 2/3 sweeps run up to (8192, 4096) processors, where actually
+executing the numerical kernels is out of the question — and
+unnecessary: both workflows weak-scale (fixed output per processor), so
+per-step compute time per processor is constant in the processor count
+and machine-dependent only through the core-speed ratio the paper
+states (Cori = 63.6 % of Titan).
+
+Constants are in *Titan seconds per step per processor*; magnitudes are
+chosen so the compute/IO balance matches the paper's qualitative
+behaviour (compute-dominant workflows whose in-memory staging adds a
+bounded fraction, while MPI-IO grows with scale).  The "simulation
+only" / "analytics only" baselines of Figure 2 are exactly these
+constants times the step count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hpc.units import MB
+
+
+@dataclass(frozen=True)
+class ComputeCosts:
+    """Per-step Titan-calibrated compute times for one workflow."""
+
+    #: simulation seconds per step (per processor, weak scaling)
+    sim_step: float
+    #: analytics seconds per step (per processor)
+    ana_step: float
+
+
+#: LAMMPS LJ melt + MSD: MD steps between dumps dominate; MSD is cheap.
+LAMMPS_COSTS = ComputeCosts(sim_step=20.0, ana_step=6.0)
+
+#: Laplace + MTA: "the compute-intensive Laplace workflow" — both sides
+#: heavier than LAMMPS per step.
+LAPLACE_COSTS = ComputeCosts(sim_step=40.0, ana_step=18.0)
+
+#: Synthetic writer/reader: no computation at all (Figure 9).
+SYNTHETIC_COSTS = ComputeCosts(sim_step=0.0, ana_step=0.0)
+
+
+def laplace_ana_step_for_size(bytes_per_proc: float) -> float:
+    """Analytics step time scales with the data each processor reads.
+
+    Used by the Figure 3 problem-size sweep: the MTA pass is linear in
+    the slab it processes, anchored at the 128 MB/processor default.
+    """
+    return LAPLACE_COSTS.ana_step * (bytes_per_proc / (128 * MB))
+
+
+def laplace_sim_step_for_size(bytes_per_proc: float) -> float:
+    """Jacobi sweeps are linear in the local grid size too."""
+    return LAPLACE_COSTS.sim_step * (bytes_per_proc / (128 * MB))

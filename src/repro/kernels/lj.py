@@ -1,0 +1,131 @@
+"""Lennard-Jones molecular dynamics (the LAMMPS stand-in kernel).
+
+The LAMMPS workflow of the paper "models the clusters of Lennard-Jones
+atoms and studies the melting process of materials from a low-energy
+solid structure to a set of higher energy liquid structures"
+(Section III-A).  This module is a real, small-scale LJ simulator —
+velocity-Verlet integration, periodic boundaries, cutoff potential —
+used by the examples and correctness tests; the at-scale benchmark runs
+use the calibrated cost model in :mod:`repro.kernels.costs` instead of
+timing this kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def cubic_lattice(cells: int, density: float = 0.8442) -> Tuple[np.ndarray, float]:
+    """An fcc-like cubic lattice of ``4 * cells**3`` atoms.
+
+    Returns (positions, box_length); the standard LJ melt setup.
+    """
+    if cells < 1:
+        raise ValueError("cells must be >= 1")
+    natoms = 4 * cells**3
+    box = (natoms / density) ** (1.0 / 3.0)
+    base = np.array(
+        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+    )
+    positions = []
+    for i in range(cells):
+        for j in range(cells):
+            for k in range(cells):
+                positions.append(base + np.array([i, j, k]))
+    pos = np.concatenate(positions) * (box / cells)
+    return pos, box
+
+
+def lj_forces(
+    positions: np.ndarray,
+    box: float,
+    epsilon: float = 1.0,
+    sigma: float = 1.0,
+    rcut: float = 2.5,
+) -> Tuple[np.ndarray, float]:
+    """Pairwise LJ forces with minimum-image periodic boundaries.
+
+    Returns (forces, potential_energy).  O(N^2) vectorized — intended
+    for the small atom counts the examples use.
+    """
+    n = len(positions)
+    delta = positions[:, None, :] - positions[None, :, :]
+    delta -= box * np.round(delta / box)
+    r2 = np.einsum("ijk,ijk->ij", delta, delta)
+    np.fill_diagonal(r2, np.inf)
+    mask = r2 < rcut * rcut
+    inv_r2 = np.where(mask, 1.0 / r2, 0.0)
+    s2 = sigma * sigma * inv_r2
+    s6 = s2 * s2 * s2
+    s12 = s6 * s6
+    # F = 24 eps (2 s12 - s6) / r^2 * dr
+    coeff = 24.0 * epsilon * (2.0 * s12 - s6) * inv_r2
+    forces = np.einsum("ij,ijk->ik", coeff, delta)
+    energy = 2.0 * epsilon * np.sum(np.where(mask, s12 - s6, 0.0))
+    return forces, energy
+
+
+class LJSimulation:
+    """A melting Lennard-Jones cluster, LAMMPS-style."""
+
+    def __init__(
+        self,
+        cells: int = 3,
+        density: float = 0.8442,
+        temperature: float = 3.0,
+        dt: float = 0.004,
+        seed: int = 1,
+    ) -> None:
+        self.positions, self.box = cubic_lattice(cells, density)
+        self.natoms = len(self.positions)
+        self.dt = dt
+        rng = np.random.default_rng(seed)
+        self.velocities = rng.normal(0.0, np.sqrt(temperature), self.positions.shape)
+        self.velocities -= self.velocities.mean(axis=0)  # zero net momentum
+        self.forces, self.potential_energy = lj_forces(self.positions, self.box)
+        self.initial_positions = self.positions.copy()
+        #: unwrapped positions (no periodic folding) for MSD analysis
+        self.unwrapped = self.positions.copy()
+        self.step_count = 0
+
+    def step(self, nsteps: int = 1) -> None:
+        """Advance ``nsteps`` velocity-Verlet steps."""
+        for _ in range(nsteps):
+            half_v = self.velocities + 0.5 * self.dt * self.forces
+            move = self.dt * half_v
+            self.positions = (self.positions + move) % self.box
+            self.unwrapped = self.unwrapped + move
+            self.forces, self.potential_energy = lj_forces(self.positions, self.box)
+            self.velocities = half_v + 0.5 * self.dt * self.forces
+            self.step_count += 1
+
+    @property
+    def kinetic_energy(self) -> float:
+        return 0.5 * float(np.sum(self.velocities**2))
+
+    @property
+    def total_energy(self) -> float:
+        return self.kinetic_energy + self.potential_energy
+
+    @property
+    def temperature(self) -> float:
+        dof = 3 * self.natoms - 3
+        return 2.0 * self.kinetic_energy / dof
+
+    def snapshot(self) -> np.ndarray:
+        """The per-atom output record a LAMMPS dump would stage.
+
+        Shape (5, natoms): x, y, z (unwrapped) plus two velocity-derived
+        fields, echoing the 5 x nprocs x 512000 layout of Table II.
+        """
+        return np.stack(
+            [
+                self.unwrapped[:, 0],
+                self.unwrapped[:, 1],
+                self.unwrapped[:, 2],
+                self.velocities[:, 0],
+                np.einsum("ij,ij->i", self.velocities, self.velocities),
+            ]
+        )

@@ -1,0 +1,9 @@
+"""Simulated MPI runtime: communicators, ranks, collectives."""
+
+from .comm import ANY_SOURCE, ANY_TAG, Communicator, Message, Rank
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator", "Message", "Rank"]
+
+from .io import MpiFile, MpiFileError  # noqa: E402
+
+__all__ += ["MpiFile", "MpiFileError"]

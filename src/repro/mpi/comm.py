@@ -1,0 +1,186 @@
+"""A simulated MPI runtime.
+
+Ranks are coroutine processes; a :class:`Communicator` gives them
+point-to-point messaging (with network cost paid through the cluster's
+NIC pipes) and the usual collectives.  This is the substrate the
+workflows and Decaf run on, and what makes "wrap all components into
+one MPI communicator" (the Decaf design the paper studies) expressible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List
+
+from ..hpc.cluster import Cluster
+from ..hpc.memtrack import MemoryTracker
+from ..hpc.node import Node
+from ..sim import Environment, Event, Store
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class Message:
+    """An in-flight MPI message."""
+
+    __slots__ = ("src", "tag", "payload", "nbytes")
+
+    def __init__(self, src: int, tag: int, payload: Any, nbytes: float) -> None:
+        self.src = src
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:
+        return f"<Message src={self.src} tag={self.tag} nbytes={self.nbytes}>"
+
+
+class Communicator:
+    """A group of ranks mapped onto cluster nodes."""
+
+    _TAG_COLLECTIVE = -1000
+
+    def __init__(self, cluster: Cluster, nodes: List[Node], name: str = "comm") -> None:
+        if not nodes:
+            raise ValueError("communicator needs at least one rank")
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.name = name
+        self._nodes = list(nodes)
+        self._mailboxes = [Store(self.env) for _ in nodes]
+        self._ranks = [Rank(self, i) for i in range(len(nodes))]
+        self._barrier_waiting = 0
+        self._barrier_event = Event(self.env)
+
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    def rank(self, index: int) -> "Rank":
+        """The rank object for ``index``."""
+        return self._ranks[index]
+
+    def ranks(self) -> List["Rank"]:
+        return list(self._ranks)
+
+    def node_of(self, rank: int) -> Node:
+        return self._nodes[rank]
+
+    def _arrive_at_barrier(self) -> Event:
+        self._barrier_waiting += 1
+        event = self._barrier_event
+        if self._barrier_waiting == self.size:
+            self._barrier_waiting = 0
+            self._barrier_event = Event(self.env)
+            event.succeed()
+        return event
+
+
+class Rank:
+    """One MPI rank: the handle a workflow coroutine computes through."""
+
+    def __init__(self, comm: Communicator, index: int) -> None:
+        self.comm = comm
+        self.index = index
+        self.env = comm.env
+        self.node = comm.node_of(index)
+        self.memory: MemoryTracker = self.node.process_memory(
+            f"{comm.name}[{index}]"
+        )
+
+    # ----------------------------------------------------------- compute
+
+    def compute(self, titan_seconds: float) -> Event:
+        """A timeout scaled by the machine's relative core speed.
+
+        Compute phases are calibrated on Titan; on Cori KNL the same
+        phase takes 1/0.636 times longer (paper, Section III-B1).
+        """
+        scaled = self.comm.cluster.spec.compute_time(titan_seconds)
+        return self.env.timeout(scaled)
+
+    # ------------------------------------------------------ point-to-point
+
+    def send(
+        self,
+        dst: int,
+        payload: Any = None,
+        nbytes: float = 0.0,
+        tag: int = 0,
+    ) -> Generator:
+        """Process: send ``nbytes`` to rank ``dst`` (pays network time)."""
+        link = self.comm.cluster.link(self.node, self.comm.node_of(dst))
+        if nbytes > 0:
+            yield self.env.process(link.send(nbytes))
+        else:
+            yield self.env.timeout(link.latency)
+        yield self.comm._mailboxes[dst].put(
+            Message(self.index, tag, payload, nbytes)
+        )
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Process: receive the next matching message (returns it)."""
+
+        def matches(msg: Message) -> bool:
+            if src != ANY_SOURCE and msg.src != src:
+                return False
+            if tag != ANY_TAG and msg.tag != tag:
+                return False
+            return True
+
+        msg = yield self.comm._mailboxes[self.index].get(matches)
+        return msg
+
+    # ---------------------------------------------------------- collectives
+
+    def barrier(self) -> Generator:
+        """Process: block until every rank of the communicator arrives."""
+        yield self.comm._arrive_at_barrier()
+
+    def bcast(self, payload: Any = None, nbytes: float = 0.0, root: int = 0) -> Generator:
+        """Process: broadcast from ``root``; returns the payload on all."""
+        tag = Communicator._TAG_COLLECTIVE
+        if self.index == root:
+            sends = [
+                self.env.process(self.send(dst, payload, nbytes, tag))
+                for dst in range(self.comm.size)
+                if dst != root
+            ]
+            if sends:
+                yield self.env.all_of(sends)
+            return payload
+        msg = yield from self.recv(src=root, tag=tag)
+        return msg.payload
+
+    def gather(self, value: Any, nbytes: float = 8.0, root: int = 0) -> Generator:
+        """Process: gather ``value`` from all ranks; root returns the list."""
+        tag = Communicator._TAG_COLLECTIVE - 1
+        if self.index == root:
+            collected: List[Any] = [None] * self.comm.size
+            collected[root] = value
+            for _ in range(self.comm.size - 1):
+                msg = yield from self.recv(tag=tag)
+                collected[msg.src] = msg.payload
+            return collected
+        yield from self.send(root, value, nbytes, tag)
+        return None
+
+    def allreduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        nbytes: float = 8.0,
+    ) -> Generator:
+        """Process: reduce ``value`` across ranks, result on every rank."""
+        gathered = yield from self.gather(value, nbytes=nbytes, root=0)
+        if self.index == 0:
+            result = gathered[0]
+            for item in gathered[1:]:
+                result = op(result, item)
+        else:
+            result = None
+        result = yield from self.bcast(result, nbytes=nbytes, root=0)
+        return result
+
+    def __repr__(self) -> str:
+        return f"<Rank {self.index} of {self.comm.name}>"

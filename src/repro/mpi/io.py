@@ -1,0 +1,119 @@
+"""MPI-IO: the file interface the MPI-IO baseline writes through.
+
+A thin MPI-IO layer over the simulated Lustre: ``MPI_File_open`` is a
+collective (one metadata operation charged per participating rank,
+serialized through the machine's few MDS), and writes come in the two
+classic flavors:
+
+* **independent** (``MPI_File_write_at``) — each rank's request goes to
+  the OSTs on its own;
+* **collective** (``MPI_File_write_at_all``) — ranks synchronize and
+  aggregators issue fewer, larger, nicely aligned requests (two-phase
+  I/O), modeled as a barrier plus a reduced effective request count.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..hpc.lustre import LustreFile, LustreFilesystem
+from .comm import Communicator, Rank
+
+
+class MpiFileError(Exception):
+    """Raised on misuse of the MPI-IO interface."""
+
+
+class MpiFile:
+    """An open MPI file shared by one communicator."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        fs: LustreFilesystem,
+        path: str,
+        stripe_count: int = -1,
+        stripe_size: int = 1 << 20,
+    ) -> None:
+        self.comm = comm
+        self.fs = fs
+        self.path = path
+        self.stripe_count = stripe_count
+        self.stripe_size = stripe_size
+        self._handle: Optional[LustreFile] = None
+        self._open_count = 0
+        self.closed = False
+
+    # ------------------------------------------------------------- open
+
+    def open(self, rank: Rank) -> Generator:
+        """Process: collective open — every rank must call it."""
+        if self.closed:
+            raise MpiFileError(f"{self.path}: file already closed")
+        env = self.comm.env
+        # Each rank's open touches the metadata service.
+        with self.fs._mds.request() as req:
+            yield req
+            yield env.timeout(self.fs.spec.mds_op_time)
+        if rank.index == 0 and self._handle is None:
+            self._handle = yield env.process(
+                self.fs.open(self.path, self.stripe_count, self.stripe_size)
+            )
+        yield from rank.barrier()
+        self._open_count += 1
+
+    def _require_open(self) -> LustreFile:
+        if self._handle is None:
+            raise MpiFileError(f"{self.path}: not opened yet")
+        if self.closed:
+            raise MpiFileError(f"{self.path}: already closed")
+        return self._handle
+
+    # ------------------------------------------------------------ writes
+
+    def write_at(self, rank: Rank, offset: int, nbytes: int) -> Generator:
+        """Process: independent write at an explicit offset."""
+        handle = self._require_open()
+        yield self.comm.env.process(self.fs.write(handle, offset, nbytes))
+
+    def write_at_all(self, rank: Rank, offset: int, nbytes: int) -> Generator:
+        """Process: collective write (two-phase I/O).
+
+        Ranks synchronize, then data flows through aggregators — one
+        per stripe-aligned chunk — so the OSTs see large sequential
+        requests instead of ``comm.size`` interleaved ones.
+        """
+        handle = self._require_open()
+        env = self.comm.env
+        yield from rank.barrier()
+        if rank.index % max(1, self.comm.size // self._aggregators()) == 0:
+            # This rank acts as an aggregator for its group.
+            group = max(1, self.comm.size // self._aggregators())
+            yield env.process(
+                self.fs.write(handle, offset, nbytes * group)
+            )
+        yield from rank.barrier()
+
+    def _aggregators(self) -> int:
+        """Two-phase I/O aggregator count: one per OST, capped by size."""
+        return max(1, min(self.comm.size, self.fs.spec.num_osts))
+
+    # ------------------------------------------------------------- reads
+
+    def read_at(self, rank: Rank, offset: int, nbytes: int) -> Generator:
+        """Process: independent read."""
+        handle = self._require_open()
+        yield self.comm.env.process(self.fs.read(handle, offset, nbytes))
+
+    # ------------------------------------------------------------- close
+
+    def close(self, rank: Rank) -> Generator:
+        """Process: collective close (one MDS op for the group)."""
+        self._require_open()
+        yield from rank.barrier()
+        if rank.index == 0:
+            with self.fs._mds.request() as req:
+                yield req
+                yield self.comm.env.timeout(self.fs.spec.mds_op_time)
+            self.closed = True
+        yield from rank.barrier()

@@ -1,0 +1,30 @@
+"""A deterministic discrete-event simulation kernel.
+
+This package is the foundation of the reproduction: every workflow,
+staging library and hardware model runs as coroutine processes on the
+:class:`Environment` clock, so experiment timings are simulated seconds
+rather than host wall-clock.
+"""
+
+from .engine import Environment, Infinity
+from .events import AllOf, AnyOf, Event, Interrupt, Timeout
+from .monitor import TimeSeries
+from .process import Process
+from .resources import Container, ContainerError, Request, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "ContainerError",
+    "Environment",
+    "Event",
+    "Infinity",
+    "Interrupt",
+    "Process",
+    "Request",
+    "Resource",
+    "Store",
+    "TimeSeries",
+    "Timeout",
+]

@@ -1,0 +1,123 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns the simulated clock and the event queue.
+Processes (see :class:`~repro.sim.process.Process`) advance the clock by
+yielding events; the environment pops events in time order and runs
+their callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, Optional
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+Infinity = float("inf")
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class Environment:
+    """A deterministic discrete-event simulation environment.
+
+    Time is a float in *simulated seconds*.  Determinism is guaranteed
+    by breaking time ties with a monotonically increasing event id, so
+    repeated runs of the same model produce identical traces.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = count()
+
+    @property
+    def now(self) -> float:
+        """The current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Queue ``event`` to be processed ``delay`` seconds from now."""
+        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+
+    def process(self, generator: Generator) -> Process:
+        """Spawn a new process executing ``generator``."""
+        return Process(self, generator)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that triggers ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, list(events))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        try:
+            self._now, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it to the caller of run().
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until ``until`` (a time, an event, or queue exhaustion).
+
+        If ``until`` is an :class:`Event`, returns that event's value
+        once it triggers (re-raising its exception if it failed).
+        """
+        until_event: Optional[Event] = None
+        until_time = Infinity
+        if until is not None:
+            if isinstance(until, Event):
+                until_event = until
+                if until_event.processed:
+                    if until_event.ok:
+                        return until_event.value
+                    raise until_event.value
+            else:
+                until_time = float(until)
+                if until_time < self._now:
+                    raise ValueError(f"until ({until_time}) is in the past")
+
+        while True:
+            if until_event is not None and until_event.processed:
+                if until_event.ok:
+                    return until_event.value
+                raise until_event.value
+            next_time = self.peek()
+            if next_time > until_time:
+                self._now = until_time
+                return None
+            if next_time is Infinity:
+                if until_event is not None:
+                    raise RuntimeError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)"
+                    )
+                return None
+            self.step()

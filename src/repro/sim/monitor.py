@@ -1,0 +1,89 @@
+"""Time-series monitoring of simulated quantities.
+
+:class:`TimeSeries` is the backbone of the memory-usage figures
+(Fig 5/6/7/11): components record ``(time, value)`` samples and the
+analysis side queries peaks, averages and resampled timelines.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Tuple
+
+
+class TimeSeries:
+    """An append-only, time-ordered series of float samples."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample; ``time`` must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"sample time {time} precedes last sample {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    @property
+    def times(self) -> Sequence[float]:
+        return tuple(self._times)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return tuple(self._values)
+
+    def peak(self) -> float:
+        """Maximum sampled value (0.0 for an empty series)."""
+        return max(self._values) if self._values else 0.0
+
+    def last(self) -> float:
+        """Most recent sampled value (0.0 for an empty series)."""
+        return self._values[-1] if self._values else 0.0
+
+    def value_at(self, time: float) -> float:
+        """Step-interpolated value at ``time`` (0.0 before first sample)."""
+        idx = bisect.bisect_right(self._times, time) - 1
+        if idx < 0:
+            return 0.0
+        return self._values[idx]
+
+    def time_average(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+        """Time-weighted mean assuming step (sample-and-hold) semantics."""
+        if not self._times:
+            return 0.0
+        t0 = self._times[0] if start is None else start
+        t1 = self._times[-1] if end is None else end
+        if t1 <= t0:
+            return self.value_at(t0)
+        total = 0.0
+        t = t0
+        value = self.value_at(t0)
+        idx = bisect.bisect_right(self._times, t0)
+        while idx < len(self._times) and self._times[idx] < t1:
+            total += value * (self._times[idx] - t)
+            t = self._times[idx]
+            value = self._values[idx]
+            idx += 1
+        total += value * (t1 - t)
+        return total / (t1 - t0)
+
+    def resample(self, interval: float, end: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Step-sample the series every ``interval`` seconds."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if not self._times:
+            return []
+        t1 = self._times[-1] if end is None else end
+        out: List[Tuple[float, float]] = []
+        t = self._times[0]
+        while t <= t1 + 1e-12:
+            out.append((t, self.value_at(t)))
+            t += interval
+        return out

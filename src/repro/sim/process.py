@@ -1,0 +1,102 @@
+"""Simulation processes.
+
+A process wraps a Python generator.  Each value the generator yields
+must be an :class:`~repro.sim.events.Event`; the process suspends until
+the event triggers and is resumed with the event's value (or has the
+event's exception thrown into it when the event failed).
+
+A :class:`Process` is itself an event that triggers when the generator
+returns (carrying the generator's return value) or raises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .events import Event, Interrupt
+
+
+class Process(Event):
+    """A running simulation process; also awaitable as an event."""
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:  # noqa: F821
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        # Kick the process off at the current simulation time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator is still running."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process."""
+        if self.triggered:
+            raise RuntimeError("cannot interrupt a finished process")
+        interrupt = Event(self.env)
+        interrupt._ok = False
+        interrupt._value = Interrupt(cause)
+        interrupt._defused = True
+        interrupt.callbacks.append(self._resume_interrupt)
+        self.env.schedule(interrupt)
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if self.triggered:
+            return  # finished in the meantime; drop the interrupt
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._step(event)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self.succeed(getattr(stop, "value", None))
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                self.fail(
+                    TypeError(
+                        f"process yielded a non-event: {next_event!r} "
+                        f"(from {self._generator!r})"
+                    )
+                )
+                return
+
+            if next_event.processed:
+                # Already done: loop immediately without a scheduler trip.
+                event = next_event
+                continue
+            if next_event.callbacks is not None:
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+            return

@@ -1,0 +1,123 @@
+"""EVPath — the event-transport overlay beneath Flexpath.
+
+"Flexpath uses a network abstraction layer, EVPath, which currently
+supports TCP sockets, Sandia NNTI, Infiniband, Cray Gemini, and the
+BlueGene interconnect" (Section II-A).  EVPath's programming model is a
+graph of **stones**: sources submit typed events, terminal stones
+deliver them to handlers, and bridge stones carry events across the
+network.  This module implements that model on the simulated substrate;
+Flexpath's publish/subscribe notifications ride on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..sim import Environment
+from ..transport import Endpoint, Transport
+from . import ffs
+
+
+class EvpathError(Exception):
+    """Raised on invalid stone wiring."""
+
+
+class Stone:
+    """A vertex of the EVPath event graph."""
+
+    def __init__(self, manager: "EvpathManager", stone_id: int,
+                 endpoint: Endpoint) -> None:
+        self.manager = manager
+        self.stone_id = stone_id
+        self.endpoint = endpoint
+        self._handler: Optional[Callable[[Any], None]] = None
+        self._targets: List["Stone"] = []
+        self.events_in = 0
+
+    def set_handler(self, handler: Callable[[Any], None]) -> None:
+        """Make this a terminal stone delivering into ``handler``."""
+        self._handler = handler
+
+    def link(self, target: "Stone") -> None:
+        """Add an outgoing edge (bridge when crossing endpoints)."""
+        if target is self:
+            raise EvpathError("a stone cannot link to itself")
+        self._targets.append(target)
+
+    def submit(self, event: Any, nbytes: Optional[float] = None) -> Generator:
+        """Process: inject an event; it propagates through the graph.
+
+        ``nbytes`` defaults to the FFS-encoded size for dict-of-array
+        events and a control-message size otherwise.
+        """
+        if nbytes is None:
+            if isinstance(event, dict):
+                try:
+                    nbytes = ffs.encoded_size(event)
+                except Exception:
+                    nbytes = 256
+            else:
+                nbytes = 256
+        yield from self._deliver(event, nbytes)
+
+    def _deliver(self, event: Any, nbytes: float) -> Generator:
+        self.events_in += 1
+        if self._handler is not None:
+            self._handler(event)
+        for target in self._targets:
+            if target.endpoint.node is not self.endpoint.node:
+                # A bridge stone: the event crosses the network.  Events
+                # travel the control channel when the data-plane
+                # transport cannot leave the node (shared-memory mode).
+                transport = self.manager.transport_for(
+                    self.endpoint, target.endpoint
+                )
+                yield self.manager.env.process(
+                    transport.move(
+                        self.endpoint, target.endpoint, nbytes,
+                        src_registered=True, dst_registered=True,
+                    )
+                )
+            yield from target._deliver(event, nbytes)
+
+
+class EvpathManager:
+    """Owns the stones of one process group (CManager equivalent)."""
+
+    def __init__(self, env: Environment, transport: Transport) -> None:
+        self.env = env
+        self.transport = transport
+        self._control: Optional[Transport] = None
+        self._stones: Dict[int, Stone] = {}
+        self._next_id = 0
+
+    def transport_for(self, src: Endpoint, dst: Endpoint) -> Transport:
+        """The data-plane transport, or the TCP control channel when the
+        data plane cannot cross nodes (EVPath always keeps a socket
+        control connection alive)."""
+        from .. import transport as transport_pkg
+
+        if src.node is dst.node or not isinstance(
+            self.transport, transport_pkg.ShmTransport
+        ):
+            return self.transport
+        if self._control is None:
+            # Reach the cluster through any node's environment owner.
+            self._control = transport_pkg.TcpTransport(self.transport.cluster)
+        return self._control
+
+    def create_stone(self, endpoint: Endpoint) -> Stone:
+        stone = Stone(self, self._next_id, endpoint)
+        self._stones[self._next_id] = stone
+        self._next_id += 1
+        return stone
+
+    def stone(self, stone_id: int) -> Stone:
+        try:
+            return self._stones[stone_id]
+        except KeyError:
+            raise EvpathError(f"unknown stone {stone_id}") from None
+
+    @property
+    def num_stones(self) -> int:
+        return len(self._stones)

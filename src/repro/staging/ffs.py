@@ -1,0 +1,94 @@
+"""FFS — Fast Flexible Serialization (self-describing events).
+
+Flexpath serializes data with FFS, "which creates self-describing
+events to support flexible data types" (Section II-A).  This is a
+*working* binary format: a compact header describing field names,
+dtypes and shapes precedes the raw payload, and decoding needs no
+out-of-band schema — exactly the self-description property FFS
+provides.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+import numpy as np
+
+MAGIC = b"FFS1"
+
+_DTYPE_CODES = {
+    "float64": 0,
+    "float32": 1,
+    "int64": 2,
+    "int32": 3,
+    "uint64": 4,
+    "uint8": 5,
+}
+_CODE_DTYPES = {v: k for k, v in _DTYPE_CODES.items()}
+
+
+class FfsError(Exception):
+    """Raised on malformed FFS buffers."""
+
+
+def encode(record: Dict[str, np.ndarray]) -> bytes:
+    """Serialize a dict of named arrays into one self-describing buffer."""
+    parts = [MAGIC, struct.pack("<I", len(record))]
+    payloads = []
+    for name, array in record.items():
+        array = np.ascontiguousarray(array)
+        dtype = str(array.dtype)
+        if dtype not in _DTYPE_CODES:
+            raise FfsError(f"unsupported dtype {dtype} for field {name!r}")
+        name_bytes = name.encode("utf-8")
+        parts.append(struct.pack("<H", len(name_bytes)))
+        parts.append(name_bytes)
+        parts.append(struct.pack("<BB", _DTYPE_CODES[dtype], array.ndim))
+        parts.append(struct.pack(f"<{array.ndim}Q", *array.shape))
+        payloads.append(array.tobytes())
+    return b"".join(parts) + b"".join(payloads)
+
+
+def decode(buffer: bytes) -> Dict[str, np.ndarray]:
+    """Reconstruct the named arrays from an FFS buffer."""
+    if buffer[:4] != MAGIC:
+        raise FfsError("bad magic; not an FFS buffer")
+    offset = 4
+    (nfields,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    descriptors = []
+    for _ in range(nfields):
+        (name_len,) = struct.unpack_from("<H", buffer, offset)
+        offset += 2
+        name = buffer[offset : offset + name_len].decode("utf-8")
+        offset += name_len
+        code, ndim = struct.unpack_from("<BB", buffer, offset)
+        offset += 2
+        shape = struct.unpack_from(f"<{ndim}Q", buffer, offset)
+        offset += 8 * ndim
+        if code not in _CODE_DTYPES:
+            raise FfsError(f"unknown dtype code {code}")
+        descriptors.append((name, _CODE_DTYPES[code], shape))
+
+    record: Dict[str, np.ndarray] = {}
+    for name, dtype, shape in descriptors:
+        count = 1
+        for extent in shape:
+            count *= extent
+        nbytes = count * np.dtype(dtype).itemsize
+        chunk = buffer[offset : offset + nbytes]
+        if len(chunk) != nbytes:
+            raise FfsError(f"truncated payload for field {name!r}")
+        record[name] = np.frombuffer(chunk, dtype=dtype).reshape(shape).copy()
+        offset += nbytes
+    return record
+
+
+def encoded_size(record: Dict[str, np.ndarray]) -> int:
+    """Byte size of :func:`encode`'s output without materializing it."""
+    size = 4 + 4
+    for name, array in record.items():
+        size += 2 + len(name.encode("utf-8")) + 2 + 8 * array.ndim
+        size += array.nbytes
+    return size

@@ -1,0 +1,120 @@
+"""MPI-IO baseline: post-processing through the parallel filesystem.
+
+"For comparison, we also discuss the MPI-IO method, which dumps data
+from the simulation directly to persistent storage" (Section III-B).
+The paper ran it through ADIOS with ``lfs setstripe -stripe-size 1m
+-stripe-count -1`` and ``stats=off`` (Table I).
+
+Cost structure (the source of MPI-IO's linear end-to-end growth in
+Figure 2):
+
+* every *real* writer creates/opens its output each step — metadata
+  operations serialized through the machine's few Lustre MDS (4 on
+  Titan, 1 on Cori);
+* data flows through the fixed pool of OSTs, whose aggregate bandwidth
+  does not grow with the processor count;
+* analytics must read everything back before computing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+import numpy as np
+
+from . import calibration as cal
+from .base import StagingLibrary
+from .ndarray import Region
+from .store import FragmentStore
+
+
+class MpiIo(StagingLibrary):
+    """File-based coupling via the simulated Lustre filesystem."""
+
+    name = "mpiio"
+    has_servers = False
+
+    def __init__(self, *args, stripe_size: int = 1 << 20, stripe_count: int = -1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.stripe_size = stripe_size
+        self.stripe_count = stripe_count
+        self.global_store = FragmentStore()
+        self._handles: Dict[int, object] = {}
+
+    def _gate_window(self) -> int:
+        # Persistent storage holds every step: no version backpressure.
+        return max(self.steps, 1)
+
+    # --------------------------------------------------------------- put
+
+    def _mds_ops(self, count: float) -> Generator:
+        """Process: ``count`` metadata operations through the MDS pool."""
+        fs = self.cluster.lustre
+        with fs._mds.request() as req:
+            yield req
+            yield self.env.timeout(count * fs.spec.mds_op_time)
+
+    def put(
+        self,
+        sim_actor: int,
+        region: Region,
+        version: int,
+        data: Optional[np.ndarray] = None,
+    ) -> Generator:
+        var = self.variable
+        start = self.env.now
+        total = var.region_bytes(region)
+
+        serialize = self._serialize_cost(total)
+        if serialize > 0:
+            yield self.env.timeout(serialize)
+
+        # One file create/open per real writer this actor represents.
+        yield from self._mds_ops(self.topology.sim_scale)
+
+        handle = self._handles.get(version)
+        if handle is None:
+            fs = self.cluster.lustre
+            handle = yield self.env.process(
+                fs.open(
+                    f"/scratch/{var.name}.{version}.bp",
+                    stripe_count=self.stripe_count,
+                    stripe_size=self.stripe_size,
+                )
+            )
+            self._handles[version] = handle
+
+        offset = region.lb[-1] * var.elem_size  # coarse file placement
+        yield self.env.process(
+            self.cluster.lustre.write(handle, offset, int(total))
+        )
+
+        self.global_store.put(var, version, region, data)
+        self.gate.publish(version)
+        self._record_put(total, self.env.now - start)
+
+    # --------------------------------------------------------------- get
+
+    def get(
+        self,
+        ana_actor: int,
+        region: Region,
+        version: int,
+    ) -> Generator:
+        var = self.variable
+        start = self.env.now
+        yield from self.gate.reader_wait(version)
+
+        # One open per real reader this actor represents.
+        yield from self._mds_ops(self.topology.ana_scale)
+        handle = self._handles[version]
+        total = var.region_bytes(region)
+        offset = region.lb[-1] * var.elem_size
+        yield self.env.process(
+            self.cluster.lustre.read(handle, offset, int(total))
+        )
+
+        data = self.global_store.assemble(var, version, region)
+        self.gate.reader_done(version)
+        self._record_get(total, self.env.now - start)
+        return total, data

@@ -1,0 +1,169 @@
+"""Data descriptors: regions (bounding boxes) and variables.
+
+The in-memory libraries of the study exchange *multi-dimensional
+floating-point arrays* ("representative of HPC data", Table II).
+A :class:`Region` is a half-open n-dimensional box — the unit of
+``put``/``get`` addressing, like DataSpaces bounding boxes or ADIOS
+local dimensions/offsets.  A :class:`Variable` is the global array
+a workflow writes each step.
+
+The dimension-overflow failure of Table IV is modeled here: libraries
+configured with 32-bit dimension counters raise
+:class:`~repro.hpc.failures.DimensionOverflow` when a dimension exceeds
+``UINT32_MAX`` (the paper's suggested resolve — 64-bit dimensions — is
+the default configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..hpc.failures import DimensionOverflow
+from ..hpc.units import UINT32_MAX
+
+
+@dataclass(frozen=True)
+class Region:
+    """A half-open n-dimensional box: ``lb[i] <= x < ub[i]``."""
+
+    lb: Tuple[int, ...]
+    ub: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lb) != len(self.ub):
+            raise ValueError(f"rank mismatch: {self.lb} vs {self.ub}")
+        if not self.lb:
+            raise ValueError("zero-dimensional region")
+        for low, high in zip(self.lb, self.ub):
+            if low < 0 or high < low:
+                raise ValueError(f"invalid bounds {self.lb}..{self.ub}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lb)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(u - l for l, u in zip(self.lb, self.ub))
+
+    @property
+    def num_elements(self) -> int:
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count
+
+    @property
+    def is_empty(self) -> bool:
+        return self.num_elements == 0
+
+    def intersect(self, other: "Region") -> Optional["Region"]:
+        """The overlapping box, or None when disjoint/empty."""
+        if other.ndim != self.ndim:
+            raise ValueError("rank mismatch in intersect")
+        lb = tuple(max(a, b) for a, b in zip(self.lb, other.lb))
+        ub = tuple(min(a, b) for a, b in zip(self.ub, other.ub))
+        if any(l >= u for l, u in zip(lb, ub)):
+            return None
+        return Region(lb, ub)
+
+    def contains(self, other: "Region") -> bool:
+        """Whether ``other`` lies entirely inside this region."""
+        return all(
+            sl <= ol and ou <= su
+            for sl, ol, ou, su in zip(self.lb, other.lb, other.ub, self.ub)
+        )
+
+    def translate(self, offset: Tuple[int, ...]) -> "Region":
+        """The region shifted by ``offset``."""
+        if len(offset) != self.ndim:
+            raise ValueError("rank mismatch in translate")
+        return Region(
+            tuple(l + o for l, o in zip(self.lb, offset)),
+            tuple(u + o for u, o in zip(self.ub, offset)),
+        )
+
+    def local_slices(self, within: "Region") -> Tuple[slice, ...]:
+        """Numpy slices addressing this region inside ``within``'s array."""
+        if not within.contains(self):
+            raise ValueError(f"{self} not contained in {within}")
+        return tuple(
+            slice(l - wl, u - wl)
+            for l, u, wl in zip(self.lb, self.ub, within.lb)
+        )
+
+    @staticmethod
+    def whole(dims: Tuple[int, ...]) -> "Region":
+        """The region covering an entire array of shape ``dims``."""
+        return Region(tuple(0 for _ in dims), tuple(dims))
+
+    def __repr__(self) -> str:
+        spans = ",".join(f"{l}:{u}" for l, u in zip(self.lb, self.ub))
+        return f"Region[{spans}]"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named global array exchanged between workflow components."""
+
+    name: str
+    dims: Tuple[int, ...]
+    elem_size: int = 8  # double precision, per Table II
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError("variable needs at least one dimension")
+        if any(d <= 0 for d in self.dims):
+            raise ValueError(f"non-positive dimension in {self.dims}")
+        if self.elem_size <= 0:
+            raise ValueError("elem_size must be positive")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    @property
+    def num_elements(self) -> int:
+        count = 1
+        for extent in self.dims:
+            count *= extent
+        return count
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elements * self.elem_size
+
+    @property
+    def bounds(self) -> Region:
+        return Region.whole(self.dims)
+
+    def region_bytes(self, region: Region) -> int:
+        """Byte size of ``region`` of this variable."""
+        return region.num_elements * self.elem_size
+
+    def check_dims(self, dim_bits: int = 64) -> None:
+        """Validate dimensions against the library's integer width.
+
+        Libraries storing dimensions in 32-bit unsigned integers
+        overflow on very large arrays (Table IV).
+        """
+        if dim_bits == 64:
+            return
+        if dim_bits != 32:
+            raise ValueError(f"unsupported dim_bits {dim_bits}")
+        for extent in self.dims:
+            if extent > UINT32_MAX:
+                raise DimensionOverflow(
+                    f"variable {self.name!r}: dimension {extent} overflows "
+                    f"a 32-bit unsigned integer; switch to 64-bit dims"
+                )
+
+
+def longest_dimension(dims: Tuple[int, ...]) -> int:
+    """Index of the largest extent (first on ties)."""
+    best = 0
+    for i, extent in enumerate(dims):
+        if extent > dims[best]:
+            best = i
+    return best

@@ -1,0 +1,224 @@
+"""Hilbert space-filling-curve (SFC) spatial indexing.
+
+DataSpaces locates staged data by mapping the n-dimensional domain onto
+a Hilbert curve (Section III-B3): the index space has each dimension
+padded to ``2**k`` where ``2**k`` exceeds the longest raw dimension, and
+curve intervals are distributed over the staging servers.  The padding
+is what makes the index memory grow *quadratically* with the problem
+size in 2D (Figure 6) — the paper measured ~6 GB per server for the
+4096 x 2048-per-processor Laplace run.
+
+The curve implementation is the classic Skilling transform and is a
+real, invertible Hilbert mapping (exercised by property-based tests);
+the byte-cost model on top is calibrated to the paper's measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from .ndarray import Region
+
+#: Calibrated index bytes per index-space cell.  Chosen so that the
+#: Laplace case of Figure 6 — global domain 4096 x (64 x 2048), 4
+#: servers, per-server subdomain 4096 x 32768 padded to 65536 x 65536 —
+#: costs ~4.7 GB of index per server (the paper's ~6 GB server
+#: footprint minus the ~1.25 GB of staged data and buffering).
+INDEX_BYTES_PER_CELL = 1.1
+
+
+def index_space_bits(dims: Sequence[int]) -> int:
+    """The ``k`` with ``2**k`` strictly greater than the longest dimension."""
+    longest = max(dims)
+    k = 1
+    while (1 << k) <= longest:
+        k += 1
+    return k
+
+
+def index_space_extent(dims: Sequence[int]) -> int:
+    """Per-dimension extent of the padded index space (``2**k``)."""
+    return 1 << index_space_bits(dims)
+
+
+def index_space_cells(dims: Sequence[int]) -> int:
+    """Total cells of the padded index space (``(2**k) ** ndim``)."""
+    return index_space_extent(dims) ** len(dims)
+
+
+def index_memory_bytes(dims: Sequence[int], num_servers: int) -> float:
+    """Modeled per-server SFC index memory for a global domain.
+
+    Each server materializes the SFC table over *its* subdomain (the
+    global domain split along the longest dimension across servers),
+    with the table's two longest dimensions padded to the same power of
+    two — the padding pathology Section III-B3 describes.  Dimensions
+    beyond the two longest are kept as extents rather than enumerated.
+
+    Note on fidelity: the paper's text describes padding the *global*
+    index space, but a global (2^k)^2 table is inconsistent with the
+    paper's own Figure 3 runs (1024 processors x 128 MB would imply a
+    ~300 GB index, which did not crash).  Per-server padding reproduces
+    both the Figure 6 magnitude/quadratic trend and the Figure 3
+    survivability; DESIGN.md records the substitution.
+    """
+    if num_servers <= 0:
+        raise ValueError("num_servers must be positive")
+    axis = max(range(len(dims)), key=lambda i: dims[i])
+    server_dims = list(dims)
+    server_dims[axis] = max(1, math.ceil(dims[axis] / num_servers))
+    if len(dims) <= 2:
+        # 2D: every dimension padded to the longest — the Figure 6
+        # pathology (262144 x 262144 for a 4096 x 131072 domain).
+        padded = index_space_extent(server_dims)
+        cells = padded ** len(dims)
+    else:
+        # 3D+: per-dimension padding.  Pad-to-longest in 3D would give
+        # LAMMPS a (2**20)**3-cell index, which contradicts the paper's
+        # successful LAMMPS+DataSpaces runs; real bounding-box indexes
+        # pad per dimension.
+        cells = 1
+        for extent in server_dims:
+            cells *= index_space_extent([extent])
+    return cells * INDEX_BYTES_PER_CELL
+
+
+def hilbert_index(coords: Sequence[int], bits: int) -> int:
+    """Hilbert curve index of a point (Skilling's algorithm).
+
+    ``coords`` are per-dimension integers in ``[0, 2**bits)``; the
+    result is in ``[0, 2**(bits*ndim))``.
+    """
+    n = len(coords)
+    x = list(coords)
+    for value in x:
+        if not 0 <= value < (1 << bits):
+            raise ValueError(f"coordinate {value} out of range for {bits} bits")
+
+    # Inverse undo excess work (map Gray-coded transpose -> Hilbert).
+    q = 1 << (bits - 1)
+    while q > 1:
+        p = q - 1
+        for i in range(n):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q >>= 1
+
+    # Gray encode.
+    for i in range(1, n):
+        x[i] ^= x[i - 1]
+    t = 0
+    q = 1 << (bits - 1)
+    while q > 1:
+        if x[n - 1] & q:
+            t ^= q - 1
+        q >>= 1
+    for i in range(n):
+        x[i] ^= t
+
+    # Interleave the transposed bits into a single index.
+    index = 0
+    for b in range(bits - 1, -1, -1):
+        for i in range(n):
+            index = (index << 1) | ((x[i] >> b) & 1)
+    return index
+
+
+def hilbert_coords(index: int, ndim: int, bits: int) -> Tuple[int, ...]:
+    """Inverse of :func:`hilbert_index`."""
+    if not 0 <= index < (1 << (bits * ndim)):
+        raise ValueError(f"index {index} out of range")
+
+    # De-interleave into the transpose.
+    x = [0] * ndim
+    for b in range(bits * ndim):
+        bit = (index >> (bits * ndim - 1 - b)) & 1
+        x[b % ndim] |= bit << (bits - 1 - b // ndim)
+
+    # Gray decode.
+    t = x[ndim - 1] >> 1
+    for i in range(ndim - 1, 0, -1):
+        x[i] ^= x[i - 1]
+    x[0] ^= t
+
+    # Undo excess work.
+    q = 2
+    while q != (1 << bits):
+        p = q - 1
+        for i in range(ndim - 1, -1, -1):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q <<= 1
+    return tuple(x)
+
+
+class SfcIndex:
+    """A Hilbert-curve bucket index over a global domain.
+
+    The domain is coarsened into ``buckets_per_dim`` buckets per
+    dimension; each bucket's Hilbert index determines its owning server
+    (contiguous curve intervals per server).  This is a *working* index:
+    :meth:`server_of` and :meth:`servers_for_region` answer real
+    placement queries for the simulated libraries.
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        num_servers: int,
+        buckets_per_dim: int = 16,
+    ) -> None:
+        if num_servers <= 0:
+            raise ValueError("num_servers must be positive")
+        if buckets_per_dim < 1:
+            raise ValueError("buckets_per_dim must be >= 1")
+        self.dims = tuple(dims)
+        self.num_servers = num_servers
+        # Bucket grid is a power of two so the curve fills it exactly.
+        self.bits = max(1, math.ceil(math.log2(buckets_per_dim)))
+        self.buckets_per_dim = 1 << self.bits
+        self.ndim = len(self.dims)
+        self._curve_length = self.buckets_per_dim ** self.ndim
+
+    def _bucket_of_point(self, point: Sequence[int]) -> Tuple[int, ...]:
+        return tuple(
+            min(self.buckets_per_dim - 1, p * self.buckets_per_dim // d)
+            for p, d in zip(point, self.dims)
+        )
+
+    def server_of(self, point: Sequence[int]) -> int:
+        """The server owning the bucket containing ``point``."""
+        bucket = self._bucket_of_point(point)
+        h = hilbert_index(bucket, self.bits)
+        return h * self.num_servers // self._curve_length
+
+    def servers_for_region(self, region: Region) -> List[int]:
+        """All servers whose buckets intersect ``region`` (sorted)."""
+        lo_bucket = self._bucket_of_point(region.lb)
+        hi_bucket = self._bucket_of_point(tuple(u - 1 for u in region.ub))
+        servers = set()
+
+        def walk(dim: int, coords: List[int]) -> None:
+            if dim == self.ndim:
+                h = hilbert_index(coords, self.bits)
+                servers.add(h * self.num_servers // self._curve_length)
+                return
+            for c in range(lo_bucket[dim], hi_bucket[dim] + 1):
+                walk(dim + 1, coords + [c])
+
+        walk(0, [])
+        return sorted(servers)
+
+    @property
+    def memory_bytes(self) -> float:
+        """Modeled per-server index footprint for this domain."""
+        return index_memory_bytes(self.dims, self.num_servers)

@@ -1,0 +1,194 @@
+"""Versioned fragment storage and write/read coordination.
+
+:class:`FragmentStore` is a *working* distributed-array store: staged
+fragments (region + optional real numpy payload) can be re-assembled
+into any requested region, so small-scale examples move real data
+end-to-end while at-scale benchmarks pass ``data=None`` and only sizes
+flow.
+
+:class:`VersionGate` implements the version-window coordination all of
+the studied libraries share in some form: DataSpaces' lock service with
+``max_versions=1``, Flexpath's ``queue_size=1`` publisher queue, and
+Decaf's pipelined dataflow.  A writer may run at most ``window``
+versions ahead of the slowest reader, which is what couples simulation
+and analytics progress.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..sim import Environment, Event
+from .ndarray import Region, Variable
+
+
+class Fragment:
+    """One staged piece of a variable version."""
+
+    __slots__ = ("region", "data", "nbytes")
+
+    def __init__(self, region: Region, nbytes: int, data: Optional[np.ndarray]) -> None:
+        if data is not None and tuple(data.shape) != region.shape:
+            raise ValueError(
+                f"data shape {data.shape} does not match region {region}"
+            )
+        self.region = region
+        self.nbytes = nbytes
+        self.data = data
+
+
+class FragmentStore:
+    """Fragments of (variable, version) pairs with region reassembly."""
+
+    def __init__(self) -> None:
+        self._frags: Dict[Tuple[str, int], List[Fragment]] = {}
+
+    def put(
+        self,
+        var: Variable,
+        version: int,
+        region: Region,
+        data: Optional[np.ndarray] = None,
+    ) -> Fragment:
+        frag = Fragment(region, var.region_bytes(region), data)
+        self._frags.setdefault((var.name, version), []).append(frag)
+        return frag
+
+    def fragments(self, var: Variable, version: int) -> List[Fragment]:
+        return list(self._frags.get((var.name, version), []))
+
+    def bytes_stored(self, var: Variable, version: int) -> int:
+        return sum(f.nbytes for f in self.fragments(var, version))
+
+    def covered(self, var: Variable, version: int, region: Region) -> bool:
+        """Whether stored fragments fully cover ``region``."""
+        need = region.num_elements
+        have = 0
+        for frag in self.fragments(var, version):
+            overlap = frag.region.intersect(region)
+            if overlap is not None:
+                have += overlap.num_elements
+        # Fragments never overlap each other (disjoint writer regions),
+        # so summed overlap equals coverage.
+        return have >= need
+
+    def assemble(
+        self, var: Variable, version: int, region: Region
+    ) -> Optional[np.ndarray]:
+        """Reconstruct ``region`` from stored fragments.
+
+        Returns None when fragments were staged without payloads
+        (performance-mode runs); raises KeyError when the region is not
+        fully covered.
+        """
+        if not self.covered(var, version, region):
+            raise KeyError(
+                f"{var.name} v{version}: region {region} not fully staged"
+            )
+        frags = self.fragments(var, version)
+        if any(f.data is None for f in frags):
+            return None
+        out = np.zeros(region.shape)
+        for frag in frags:
+            overlap = frag.region.intersect(region)
+            if overlap is None:
+                continue
+            out[overlap.local_slices(region)] = frag.data[
+                overlap.local_slices(frag.region)
+            ]
+        return out
+
+    def evict(self, var: Variable, version: int) -> int:
+        """Drop a version's fragments; returns bytes released."""
+        frags = self._frags.pop((var.name, version), [])
+        return sum(f.nbytes for f in frags)
+
+    def versions(self, var: Variable) -> List[int]:
+        return sorted(v for (name, v) in self._frags if name == var.name)
+
+
+class VersionGate:
+    """Bounded producer/consumer version window.
+
+    * Writers call :meth:`writer_acquire` before staging version ``v``;
+      it blocks while ``v >= consumed + window`` (the staging area may
+      hold at most ``window`` unconsumed versions).
+    * :meth:`publish` marks a version fully staged (by all writers).
+    * Readers block in :meth:`reader_wait` until the version is
+      published, then call :meth:`reader_done`; once every reader of the
+      group finished, the version counts as consumed and the oldest
+      writer waiting on the window is released.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        num_writers: int,
+        num_readers: int,
+        window: int = 1,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if num_writers < 1 or num_readers < 1:
+            raise ValueError("need at least one writer and one reader")
+        self.env = env
+        self.window = window
+        self.num_writers = num_writers
+        self.num_readers = num_readers
+        self._published: Dict[int, Event] = {}
+        self._publish_count: Dict[int, int] = {}
+        self._reader_count: Dict[int, int] = {}
+        self._consumed = -1  # highest fully consumed version
+        self._window_events: Dict[int, Event] = {}
+
+    def _published_event(self, version: int) -> Event:
+        event = self._published.get(version)
+        if event is None:
+            event = Event(self.env)
+            self._published[version] = event
+        return event
+
+    def writer_acquire(self, version: int) -> Generator:
+        """Process: block until ``version`` fits in the window."""
+        while version >= self._consumed + 1 + self.window:
+            event = self._window_events.get(self._consumed)
+            if event is None:
+                event = Event(self.env)
+                self._window_events[self._consumed] = event
+            yield event
+
+    def publish(self, version: int) -> None:
+        """One writer finished staging ``version``."""
+        count = self._publish_count.get(version, 0) + 1
+        self._publish_count[version] = count
+        if count == self.num_writers:
+            event = self._published_event(version)
+            if not event.triggered:
+                event.succeed()
+
+    def reader_wait(self, version: int) -> Generator:
+        """Process: block until ``version`` is fully published."""
+        event = self._published_event(version)
+        if not event.triggered:
+            yield event
+        else:
+            yield self.env.timeout(0)
+
+    def reader_done(self, version: int) -> None:
+        """One reader finished consuming ``version``."""
+        count = self._reader_count.get(version, 0) + 1
+        self._reader_count[version] = count
+        if count == self.num_readers:
+            self._consumed = max(self._consumed, version)
+            stale = self._window_events.pop(self._consumed - 1, None)
+            if stale is not None and not stale.triggered:
+                stale.succeed()
+            current = self._window_events.pop(self._consumed, None)
+            if current is not None and not current.triggered:
+                current.succeed()
+
+    @property
+    def consumed(self) -> int:
+        return self._consumed

@@ -1,0 +1,42 @@
+"""Transport layer: RDMA (uGNI/NNTI/verbs), TCP sockets, shared memory
+and MPI messaging (Section III-B5 / Finding 4 of the paper)."""
+
+from .base import Endpoint, Transport
+from .mpi_msg import MpiMsgTransport
+from .rdma import RdmaTransport
+from .shm import ShmTransport
+from .tcp import TcpTransport
+
+
+def make_transport(name: str, cluster) -> Transport:
+    """Build a transport by registry name.
+
+    Names mirror the paper's build options: ``ugni``, ``nnti``,
+    ``verbs`` (RDMA flavors), ``tcp`` (sockets), ``shm`` (shared
+    memory), ``mpi`` (message passing).
+    """
+    name = name.lower()
+    if name in RdmaTransport.APIS:
+        return RdmaTransport(cluster, api=name)
+    if name == "tcp":
+        return TcpTransport(cluster)
+    if name == "tcp-pool":
+        # Table IV's socket-pool resolve: bounded descriptors with a
+        # multiplexing latency penalty.
+        return TcpTransport(cluster, pool_size=64)
+    if name == "shm":
+        return ShmTransport(cluster)
+    if name == "mpi":
+        return MpiMsgTransport(cluster)
+    raise ValueError(f"unknown transport {name!r}")
+
+
+__all__ = [
+    "Endpoint",
+    "MpiMsgTransport",
+    "RdmaTransport",
+    "ShmTransport",
+    "TcpTransport",
+    "Transport",
+    "make_transport",
+]

@@ -1,0 +1,97 @@
+"""RDMA transports: Cray uGNI, Sandia NNTI and generic verbs.
+
+uGNI is the proprietary low-level interface DataSpaces/DIMES use on
+Cray machines; NNTI is the portability layer Flexpath (EVPath) goes
+through.  Both move bytes zero-copy, but every transfer buffer must be
+*registered* against the node's :class:`~repro.hpc.rdma.RdmaPool`
+(which can fail hard — Finding "out of RDMA memory"), and on machines
+whose interconnect requires it, a DRC credential must be acquired per
+job and node before the first transfer (Section III-B1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Tuple
+
+from ..hpc.cluster import Cluster
+from .base import Endpoint, Transport
+
+
+class RdmaTransport(Transport):
+    """Zero-copy transport over a registered-memory interconnect API."""
+
+    #: api name -> (per-byte overhead, per-op latency seconds)
+    APIS = {
+        "ugni": (1.0, 2.0e-6),
+        "nnti": (1.06, 4.0e-6),   # portability layer over uGNI
+        "verbs": (1.02, 3.0e-6),  # InfiniBand verbs
+    }
+
+    def __init__(self, cluster: Cluster, api: str = "ugni") -> None:
+        super().__init__(cluster)
+        try:
+            self.overhead_factor, self.op_latency = self.APIS[api]
+        except KeyError:
+            raise ValueError(
+                f"unknown RDMA api {api!r}; available: {sorted(self.APIS)}"
+            ) from None
+        self.name = api
+        #: (job_id, node_id) -> credential, for DRC-gated interconnects
+        self._credentials: Dict[Tuple[str, int], object] = {}
+
+    def _ensure_credential(self, endpoint: Endpoint) -> Generator:
+        """Process: acquire a DRC credential if the machine requires it."""
+        drc = self.cluster.drc
+        if drc is None:
+            return
+        key = (endpoint.job_id, endpoint.node.node_id)
+        if key in self._credentials:
+            return
+        credential = yield self.env.process(
+            drc.acquire(endpoint.job_id, endpoint.node.node_id)
+        )
+        self._credentials[key] = credential
+
+    def setup(self, client: Endpoint, server: Endpoint) -> Generator:
+        """Process: credential acquisition for both endpoints."""
+        yield from self._ensure_credential(client)
+        yield from self._ensure_credential(server)
+
+    def move(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        nbytes: float,
+        src_registered: bool = False,
+        dst_registered: bool = False,
+    ) -> Generator:
+        yield from self._ensure_credential(src)
+        yield from self._ensure_credential(dst)
+
+        # Transient registrations for any side without a resident buffer.
+        # uGNI acquires synchronously and fails hard on exhaustion.
+        handles = []
+        try:
+            if not src_registered:
+                handles.append(src.node.rdma.register(nbytes))
+            if not dst_registered and dst.node is not src.node:
+                handles.append(dst.node.rdma.register(nbytes))
+            yield self.env.timeout(self.op_latency)
+            link = self.cluster.link(
+                src.node, dst.node, overhead_factor=self.overhead_factor
+            )
+            yield self.env.process(link.send(nbytes))
+        finally:
+            for handle in handles:
+                handle.pool.deregister(handle)
+        self._account(nbytes)
+
+    def teardown(self, client: Endpoint, server: Endpoint) -> None:
+        drc = self.cluster.drc
+        if drc is None:
+            return
+        for endpoint in (client, server):
+            key = (endpoint.job_id, endpoint.node.node_id)
+            credential = self._credentials.pop(key, None)
+            if credential is not None:
+                drc.release(credential, endpoint.node.node_id)

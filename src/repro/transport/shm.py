@@ -1,0 +1,40 @@
+"""Shared-memory transport (the Figure 13 running mode).
+
+When simulation and analytics share a node, staging degenerates to a
+local memory copy over the node's memory bus — "the gain is attributed
+to the shortened I/O path from off-node data movement to local memory
+copy".  Moving between *different* nodes through this transport is a
+programming error and raises :class:`TransportError`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..hpc.failures import TransportError
+from .base import Endpoint, Transport
+
+
+class ShmTransport(Transport):
+    """Intra-node staging through the memory bus."""
+
+    name = "shm"
+    overhead_factor = 1.0
+    op_latency = 0.5e-6
+
+    def move(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        nbytes: float,
+        src_registered: bool = False,
+        dst_registered: bool = False,
+    ) -> Generator:
+        if src.node is not dst.node:
+            raise TransportError(
+                f"shared-memory transport cannot cross nodes "
+                f"({src!r} -> {dst!r})"
+            )
+        yield self.env.timeout(self.op_latency)
+        yield self.env.process(src.node.membus.transmit(nbytes))
+        self._account(nbytes)

@@ -1,0 +1,138 @@
+"""The workflow catalog (Table II of the paper).
+
+=========  =========================================  =======================
+Workflow   Simulation                                 Analytics
+=========  =========================================  =======================
+LAMMPS     LJ molecular dynamics (melting clusters)   mean squared displ.
+Laplace    Laplace's equation in a rectangle          n-th moment turbulence
+Synthetic  MPI writer to staging                      MPI reader from staging
+=========  =========================================  =======================
+
+Output data: LAMMPS stages ``5 x nprocs x 512000`` doubles (~20 MB per
+processor), Laplace ``4096 x (nprocs x 4096)`` doubles (128 MB per
+processor), the synthetic workflow is fully configurable — including
+the decomposition axis, which is the Figure 9 knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..hpc.units import MB
+from ..kernels import costs as kernel_costs
+from ..staging.ndarray import Variable
+
+
+@dataclass(frozen=True)
+class WorkflowSpec:
+    """Static description of one coupled workflow."""
+
+    name: str
+    #: build the staged variable for a given simulation processor count
+    make_variable: Callable[[int], Variable]
+    #: the dimension the simulation decomposes over its processors
+    app_axis: int
+    #: Titan-calibrated per-step compute seconds (sim, analytics)
+    sim_step_seconds: float
+    ana_step_seconds: float
+    #: numerical-state bytes per processor given its output bytes
+    sim_calc_bytes: Callable[[float], float] = lambda b: b
+    ana_calc_bytes: Callable[[float], float] = lambda b: b
+    #: ranks per node used for the paper-scale runs (LAMMPS runs
+    #: underpopulated at 8/node for memory bandwidth; Laplace fills
+    #: Titan's 16 cores, which is what exposes the Figure 3 client-side
+    #: RDMA exhaustion)
+    sim_ranks_per_node: int = 8
+    ana_ranks_per_node: int = 8
+    description: str = ""
+
+    def variable(self, nsim: int) -> Variable:
+        return self.make_variable(nsim)
+
+    def bytes_per_proc(self, nsim: int) -> float:
+        return self.variable(nsim).nbytes / nsim
+
+
+def lammps_variable(nsim: int) -> Variable:
+    """Table II: 5 x nprocs x 512000 double-precision data."""
+    return Variable("atoms", (5, nsim, 512000))
+
+
+def laplace_variable(nsim: int, bytes_per_proc: float = 128 * MB) -> Variable:
+    """Table II: 4096 x (nprocs x 4096) doubles by default.
+
+    ``bytes_per_proc`` supports the Figure 3 problem-size sweep
+    (512 KB ... 128 MB per processor): the per-processor slab is
+    4096 x W with W chosen to hit the requested size.
+    """
+    width = max(1, int(bytes_per_proc / 8 / 4096))
+    return Variable("field", (4096, nsim * width))
+
+
+def synthetic_variable(
+    nsim: int, per_proc_elems: int = 512000 * 5, axis_layout: str = "mismatched"
+) -> Variable:
+    """The Figure 9 synthetic array in either layout.
+
+    * ``mismatched`` — ``5 x nprocs x 512000``: the staging partition
+      splits the longest (third) dimension while processors scale along
+      the second: every processor hits every server in the same order.
+    * ``matched`` — ``5 x 512 x (1000 x nprocs)``: the longest dimension
+      *is* the processor-scaling dimension, so each processor's slab
+      maps to its own server range.
+    """
+    if axis_layout == "mismatched":
+        return Variable("blob", (5, nsim, per_proc_elems // 5))
+    if axis_layout == "matched":
+        return Variable("blob", (5, 512, max(1, per_proc_elems // 5 // 512) * nsim))
+    raise ValueError(f"unknown layout {axis_layout!r}")
+
+
+from ..staging import calibration as _cal
+
+LAMMPS = WorkflowSpec(
+    name="lammps",
+    make_variable=lammps_variable,
+    app_axis=1,
+    sim_step_seconds=kernel_costs.LAMMPS_COSTS.sim_step,
+    ana_step_seconds=kernel_costs.LAMMPS_COSTS.ana_step,
+    # "173 MB is consumed by the numerical calculation" (Figure 5).
+    sim_calc_bytes=lambda b: _cal.LAMMPS_CALC_BYTES,
+    ana_calc_bytes=lambda b: _cal.MSD_CALC_FACTOR * b,
+    description="LAMMPS LJ melt + mean squared displacement (MSD)",
+)
+
+LAPLACE = WorkflowSpec(
+    name="laplace",
+    make_variable=laplace_variable,
+    app_axis=1,
+    sim_step_seconds=kernel_costs.LAPLACE_COSTS.sim_step,
+    ana_step_seconds=kernel_costs.LAPLACE_COSTS.ana_step,
+    # Jacobi keeps two grid copies; MTA streams its slab.
+    sim_calc_bytes=lambda b: _cal.LAPLACE_CALC_FACTOR * b,
+    ana_calc_bytes=lambda b: _cal.MTA_CALC_FACTOR * b,
+    sim_ranks_per_node=16,
+    ana_ranks_per_node=8,
+    description="Laplace equation solver + n-th moment turbulence analysis (MTA)",
+)
+
+SYNTHETIC = WorkflowSpec(
+    name="synthetic",
+    make_variable=lambda nsim: synthetic_variable(nsim),
+    app_axis=1,
+    sim_step_seconds=kernel_costs.SYNTHETIC_COSTS.sim_step,
+    ana_step_seconds=kernel_costs.SYNTHETIC_COSTS.ana_step,
+    description="MPI writer/reader against the staging servers",
+)
+
+WORKFLOWS = {"lammps": LAMMPS, "laplace": LAPLACE, "synthetic": SYNTHETIC}
+
+
+def get_workflow(name: str) -> WorkflowSpec:
+    try:
+        return WORKFLOWS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown workflow {name!r}; available: {sorted(WORKFLOWS)}"
+        ) from None

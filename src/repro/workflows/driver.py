@@ -1,0 +1,303 @@
+"""The coupled-workflow driver: simulation + staging + analytics.
+
+:func:`run_coupled` is the single entry point every figure/table
+experiment goes through: it boots a machine, instantiates a staging
+method, runs ``steps`` coupled iterations and returns a
+:class:`RunResult` with end-to-end time, per-component times, staging
+statistics, memory timelines and (when the configuration cannot run at
+the requested scale) the failure — never raising for the failure modes
+the paper reports, so sweeps can tabulate "failed" cells exactly like
+the paper's figures do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..hpc.cluster import Cluster
+from ..hpc.failures import HpcError
+from ..hpc.machines import MachineSpec, get_machine
+from ..sim import Environment, TimeSeries
+from ..staging import calibration as cal
+from ..staging.base import StagingLibrary
+from ..staging.decomposition import application_decomposition
+from ..staging.factory import make_library
+from ..staging.ndarray import Variable
+from .catalog import WorkflowSpec, get_workflow
+from .trace import ActivityTrace
+
+#: simulated seconds of application initialization before the staging
+#: servers come up — gives memory timelines the startup ramp the
+#: paper's Figure 5 shows (the "spike ... marks the creation of
+#: DataSpaces staging servers").
+APP_INIT_SECONDS = 5.0
+
+
+@dataclass
+class RunResult:
+    """Everything one coupled run measured."""
+
+    machine: str
+    workflow: str
+    method: Optional[str]
+    nsim: int
+    nana: int
+    steps: int
+    end_to_end: float = math.nan
+    sim_finish: float = math.nan
+    ana_finish: float = math.nan
+    put_time: float = 0.0
+    get_time: float = 0.0
+    bytes_staged: float = 0.0
+    failure: Optional[str] = None
+    #: per-processor memory timeline of simulation/analytics rank 0
+    sim_memory: Optional[TimeSeries] = None
+    ana_memory: Optional[TimeSeries] = None
+    #: per-server peaks and the first server's timeline
+    server_memory_peaks: List[int] = field(default_factory=list)
+    server_memory: Optional[TimeSeries] = None
+    server_memory_breakdown: Dict[str, int] = field(default_factory=dict)
+    library: Optional[StagingLibrary] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    @property
+    def staging_time(self) -> float:
+        return self.put_time + self.get_time
+
+    def summary(self) -> str:
+        if not self.ok:
+            return (
+                f"{self.workflow}/{self.method or 'compute-only'} on "
+                f"{self.machine} ({self.nsim},{self.nana}): FAILED {self.failure}"
+            )
+        return (
+            f"{self.workflow}/{self.method or 'compute-only'} on "
+            f"{self.machine} ({self.nsim},{self.nana}): "
+            f"end-to-end {self.end_to_end:.1f} s "
+            f"(staging {self.staging_time:.1f} s)"
+        )
+
+
+def run_coupled(
+    machine: Union[str, MachineSpec] = "titan",
+    workflow: Union[str, WorkflowSpec] = "lammps",
+    method: Optional[str] = "dataspaces",
+    nsim: int = 32,
+    nana: int = 16,
+    steps: int = 5,
+    transport: Optional[str] = None,
+    num_servers: Optional[int] = None,
+    shared_nodes: bool = False,
+    variable: Optional[Variable] = None,
+    sim_step_seconds: Optional[float] = None,
+    ana_step_seconds: Optional[float] = None,
+    topology_overrides: Optional[dict] = None,
+    config=None,
+    app_axis: Optional[int] = None,
+    trace: Optional[ActivityTrace] = None,
+) -> RunResult:
+    """Run one coupled workflow configuration end to end.
+
+    ``method=None`` runs the "simulation only"/"analytics only"
+    baseline of Figure 2: pure compute, no staging.  Failures from the
+    :mod:`repro.hpc.failures` taxonomy are captured in the result.
+    """
+    spec = get_workflow(workflow) if isinstance(workflow, str) else workflow
+    machine_spec = get_machine(machine) if isinstance(machine, str) else machine
+    var = variable if variable is not None else spec.variable(nsim)
+    merged_overrides = dict(
+        sim_ranks_per_node=spec.sim_ranks_per_node,
+        ana_ranks_per_node=spec.ana_ranks_per_node,
+    )
+    merged_overrides.update(topology_overrides or {})
+    topology_overrides = merged_overrides
+    sim_step = spec.sim_step_seconds if sim_step_seconds is None else sim_step_seconds
+    ana_step = spec.ana_step_seconds if ana_step_seconds is None else ana_step_seconds
+    axis = spec.app_axis if app_axis is None else app_axis
+
+    result = RunResult(
+        machine=machine_spec.name,
+        workflow=spec.name,
+        method=method,
+        nsim=nsim,
+        nana=nana,
+        steps=steps,
+    )
+
+    env = Environment()
+    cluster = Cluster(env, machine_spec)
+
+    try:
+        library = _build_library(
+            method, cluster, nsim, nana, var, steps, transport,
+            num_servers, shared_nodes, config, topology_overrides, axis,
+        )
+        _execute(
+            env, cluster, library, result, var, spec, sim_step, ana_step,
+            steps, axis, nsim, nana, shared_nodes, topology_overrides,
+            trace,
+        )
+    except HpcError as exc:
+        result.failure = f"{type(exc).__name__}: {exc}"
+    return result
+
+
+def _build_library(
+    method, cluster, nsim, nana, var, steps, transport,
+    num_servers, shared_nodes, config, topology_overrides, axis,
+) -> Optional[StagingLibrary]:
+    if method is None:
+        return None
+    kwargs = {}
+    if method.lower().startswith(("dataspaces", "dimes")):
+        kwargs["app_axis"] = axis
+    return make_library(
+        method, cluster, nsim=nsim, nana=nana, variable=var, steps=steps,
+        transport=transport, num_servers=num_servers,
+        shared_nodes=shared_nodes, config=config,
+        topology_overrides=topology_overrides, **kwargs,
+    )
+
+
+def _execute(
+    env, cluster, library, result, var, spec, sim_step, ana_step,
+    steps, axis, nsim, nana, shared_nodes, topology_overrides,
+    trace: Optional[ActivityTrace] = None,
+) -> None:
+    machine = cluster.spec
+
+    def mark(actor: str, activity: str, start: float) -> None:
+        if trace is not None:
+            trace.record(actor, activity, start, env.now)
+
+    if library is not None:
+        topo = library.topology
+        sim_actors, ana_actors = topo.sim_actors, topo.ana_actors
+        sim_scale, ana_scale = topo.sim_scale, topo.ana_scale
+        placement = library.placement
+    else:
+        # Compute-only baseline: minimal placement, actors stand in for
+        # weak-scaled processors.
+        from ..hpc.cluster import Placement
+        from ..staging.base import Topology
+
+        topo = Topology(nsim=nsim, nana=nana, **(topology_overrides or {}))
+        sim_actors, ana_actors = topo.sim_actors, topo.ana_actors
+        sim_scale, ana_scale = topo.sim_scale, topo.ana_scale
+        placement = Placement(cluster, shared_nodes=shared_nodes)
+        placement.place("simulation", sim_actors, ranks_per_node=1)
+        placement.place("analytics", ana_actors, ranks_per_node=1)
+
+    write_regions = application_decomposition(var, sim_actors, axis)
+    read_regions = application_decomposition(var, ana_actors, axis)
+    bytes_per_sim_proc = var.nbytes / nsim
+    bytes_per_ana_proc = var.nbytes / nana
+
+    sim_trackers = [
+        placement.node_of("simulation", i).process_memory(f"simproc{i}")
+        for i in range(sim_actors)
+    ]
+    ana_trackers = [
+        placement.node_of("analytics", j).process_memory(f"anaproc{j}")
+        for j in range(ana_actors)
+    ]
+    if library is not None:
+        for i, tracker in enumerate(sim_trackers):
+            library.register_client_tracker("sim", i, tracker)
+        for j, tracker in enumerate(ana_trackers):
+            library.register_client_tracker("ana", j, tracker)
+
+    finish = {"sim": 0.0, "ana": 0.0}
+    boot_done = env.event()
+
+    def booter(env):
+        yield env.timeout(APP_INIT_SECONDS)
+        if library is not None:
+            yield env.process(library.bootstrap())
+        boot_done.succeed()
+
+    def sim_actor(i: int):
+        name = f"sim{i}"
+        tracker = sim_trackers[i]
+        tracker.allocate(spec.sim_calc_bytes(bytes_per_sim_proc), "calculation")
+        t0 = env.now
+        yield boot_done
+        mark(name, "init", t0)
+        persistent_buffer = None
+        if library is not None:
+            tracker.allocate(cal.CLIENT_LIB_BASE, "staging-lib")
+            if library.client_buffer_persistent:
+                persistent_buffer = tracker.allocate(
+                    library.client_buffer_mult * bytes_per_sim_proc,
+                    "staging-lib",
+                )
+        for step in range(steps):
+            t0 = env.now
+            yield env.timeout(machine.compute_time(sim_step))
+            mark(name, "compute", t0)
+            if library is not None:
+                buffer = persistent_buffer or tracker.allocate(
+                    library.client_buffer_mult * bytes_per_sim_proc,
+                    "staging-lib",
+                )
+                t0 = env.now
+                yield env.process(library.put(i, write_regions[i], step))
+                mark(name, "put", t0)
+                if buffer is not persistent_buffer:
+                    tracker.free(buffer)
+        finish["sim"] = max(finish["sim"], env.now)
+
+    def ana_actor(j: int):
+        name = f"ana{j}"
+        tracker = ana_trackers[j]
+        tracker.allocate(spec.ana_calc_bytes(bytes_per_ana_proc), "calculation")
+        t0 = env.now
+        yield boot_done
+        mark(name, "init", t0)
+        if library is not None:
+            tracker.allocate(cal.CLIENT_LIB_BASE, "staging-lib")
+        for step in range(steps):
+            if library is not None:
+                buffer = tracker.allocate(
+                    library.client_buffer_mult * bytes_per_ana_proc,
+                    "staging-lib",
+                )
+                t0 = env.now
+                yield env.process(library.get(j, read_regions[j], step))
+                mark(name, "get", t0)
+                tracker.free(buffer)
+            t0 = env.now
+            yield env.timeout(machine.compute_time(ana_step))
+            mark(name, "compute", t0)
+        finish["ana"] = max(finish["ana"], env.now)
+
+    procs = [env.process(booter(env))]
+    procs += [env.process(sim_actor(i)) for i in range(sim_actors)]
+    procs += [env.process(ana_actor(j)) for j in range(ana_actors)]
+
+    def main(env):
+        yield env.all_of(procs)
+
+    done = env.process(main(env))
+    env.run(until=done)
+
+    result.end_to_end = env.now
+    result.sim_finish = finish["sim"]
+    result.ana_finish = finish["ana"]
+    result.sim_memory = sim_trackers[0].series
+    result.ana_memory = ana_trackers[0].series
+    if library is not None:
+        result.put_time = library.stats.put_time
+        result.get_time = library.stats.get_time
+        result.bytes_staged = library.stats.bytes_staged
+        result.server_memory_peaks = library.server_memory_peaks()
+        if library.servers:
+            result.server_memory = library.servers[0].memory.series
+            result.server_memory_breakdown = library.servers[0].memory.breakdown()
+        result.library = library
+        library.shutdown()

@@ -1,0 +1,112 @@
+"""Activity tracing: what every actor was doing, second by second.
+
+The driver can record per-actor activity intervals (compute, put, get,
+wait) into an :class:`ActivityTrace`; :meth:`ActivityTrace.gantt`
+renders an ASCII timeline — the quickest way to *see* the coupling
+behaviour: the N-to-1 serialization stretch, the version-window
+backpressure, MPI-IO's read-after-write bubbles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: activity -> the character drawn in the gantt chart
+GLYPHS = {
+    "compute": "#",
+    "put": "P",
+    "get": "G",
+    "wait": ".",
+    "init": "i",
+}
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One contiguous activity of one actor."""
+
+    actor: str
+    activity: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class ActivityTrace:
+    """An append-only log of actor activity intervals."""
+
+    def __init__(self) -> None:
+        self._intervals: List[Interval] = []
+
+    def record(self, actor: str, activity: str, start: float, end: float) -> None:
+        if activity not in GLYPHS:
+            raise ValueError(
+                f"unknown activity {activity!r}; one of {sorted(GLYPHS)}"
+            )
+        self._intervals.append(Interval(actor, activity, start, end))
+
+    @property
+    def intervals(self) -> List[Interval]:
+        return list(self._intervals)
+
+    def actors(self) -> List[str]:
+        seen: List[str] = []
+        for interval in self._intervals:
+            if interval.actor not in seen:
+                seen.append(interval.actor)
+        return seen
+
+    @property
+    def end_time(self) -> float:
+        return max((i.end for i in self._intervals), default=0.0)
+
+    def time_in(self, actor: str, activity: str) -> float:
+        """Total seconds ``actor`` spent in ``activity``."""
+        return sum(
+            i.duration
+            for i in self._intervals
+            if i.actor == actor and i.activity == activity
+        )
+
+    def busy_fraction(self, actor: str) -> float:
+        """Fraction of the run the actor spent in non-wait activities."""
+        end = self.end_time
+        if end <= 0:
+            return 0.0
+        busy = sum(
+            i.duration
+            for i in self._intervals
+            if i.actor == actor and i.activity != "wait"
+        )
+        return busy / end
+
+    def gantt(self, width: int = 72) -> str:
+        """Render an ASCII timeline, one row per actor."""
+        end = self.end_time
+        if end <= 0:
+            return "(empty trace)"
+        actors = self.actors()
+        label_width = max(len(a) for a in actors)
+        lines = []
+        for actor in actors:
+            row = [" "] * width
+            for interval in self._intervals:
+                if interval.actor != actor:
+                    continue
+                lo = int(interval.start / end * (width - 1))
+                hi = max(lo, int(interval.end / end * (width - 1)))
+                glyph = GLYPHS[interval.activity]
+                for pos in range(lo, hi + 1):
+                    row[pos] = glyph
+            lines.append(f"{actor.rjust(label_width)} |{''.join(row)}|")
+        scale = f"{' ' * label_width}  0{' ' * (width - 8)}{end:7.1f}s"
+        legend = "  ".join(f"{g}={name}" for name, g in GLYPHS.items())
+        return "\n".join(lines + [scale, f"legend: {legend}"])

@@ -1,0 +1,226 @@
+"""Unit tests for the BP format and the descriptive ADIOS API."""
+
+import numpy as np
+import pytest
+
+from repro.adios import Adios, AdiosError, BpError, BpReader, BpWriter
+from repro.hpc import Cluster, TITAN
+from repro.sim import Environment
+from repro.staging import Region
+
+
+class TestBpFormat:
+    def test_roundtrip_single_var(self):
+        writer = BpWriter("atoms", rank=3)
+        data = np.arange(24, dtype=np.float64).reshape(4, 6)
+        writer.write("positions", data)
+        reader = BpReader(writer.pack())
+        assert reader.group == "atoms"
+        assert reader.rank == 3
+        np.testing.assert_array_equal(reader.read("positions"), data)
+
+    def test_roundtrip_multiple_vars_and_dtypes(self):
+        writer = BpWriter("g")
+        a = np.random.default_rng(0).random((3, 3))
+        b = np.arange(5, dtype=np.int64)
+        writer.write("a", a)
+        writer.write("b", b)
+        reader = BpReader(writer.pack())
+        assert reader.var_names() == ["a", "b"]
+        np.testing.assert_array_equal(reader.read("a"), a)
+        np.testing.assert_array_equal(reader.read("b"), b)
+
+    def test_global_dims_and_offsets_preserved(self):
+        writer = BpWriter("g")
+        writer.write(
+            "field",
+            np.zeros((4, 8)),
+            global_dims=(16, 8),
+            offsets=(4, 0),
+        )
+        record = BpReader(writer.pack()).records[0]
+        assert record.global_dims == (16, 8)
+        assert record.offsets == (4, 0)
+        assert record.local_dims == (4, 8)
+
+    def test_self_describing_no_schema_needed(self):
+        buffer = BpWriter("g")
+        buffer.write("x", np.float32([1, 2, 3]))
+        reader = BpReader(buffer.pack())
+        out = reader.read("x")
+        assert out.dtype == np.float32
+
+    def test_unknown_var(self):
+        writer = BpWriter("g")
+        writer.write("x", np.zeros(2))
+        with pytest.raises(KeyError):
+            BpReader(writer.pack()).read("y")
+
+    def test_bad_magic(self):
+        with pytest.raises(BpError):
+            BpReader(b"NOPE" + b"\x00" * 32)
+
+    def test_corrupted_footer(self):
+        writer = BpWriter("g")
+        writer.write("x", np.zeros(2))
+        packed = bytearray(writer.pack())
+        packed[-8] ^= 0xFF  # flip a bit in the minifooter offset
+        with pytest.raises(BpError):
+            BpReader(bytes(packed))
+
+    def test_unsupported_dtype(self):
+        writer = BpWriter("g")
+        with pytest.raises(BpError):
+            writer.write("x", np.array(["a", "b"]))
+
+
+LAMMPS_XML = """
+<adios-config>
+  <adios-group name="atoms">
+    <var name="positions" type="double" dimensions="4,nprocs,100"/>
+  </adios-group>
+  <method group="atoms" method="FLEXPATH"/>
+</adios-config>
+"""
+
+
+class TestAdiosApi:
+    def run_coupled_through_adios(self, nsim=4, nana=2, steps=2):
+        env = Environment()
+        cluster = Cluster(env, TITAN)
+        adios = Adios(LAMMPS_XML, cluster, nsim=nsim, nana=nana, steps=steps)
+        var = adios.variable("atoms", "positions")
+        rng = np.random.default_rng(1)
+        full = rng.random(var.dims)
+        results = {}
+
+        from repro.staging import application_decomposition
+
+        lib = adios.library_for("atoms", "positions")
+        wr = application_decomposition(var, lib.topology.sim_actors, 1)
+        rr = application_decomposition(var, lib.topology.ana_actors, 1)
+
+        def writer(actor):
+            fd = adios.open("atoms", "w", actor)
+            for v in range(steps):
+                payload = full[wr[actor].local_slices(var.bounds)] + v
+                yield from fd.write("positions", wr[actor], v, payload)
+            yield from fd.close()
+
+        def reader(actor):
+            fd = adios.open("atoms", "r", actor)
+            for v in range(steps):
+                total, data = yield from fd.read("positions", rr[actor], v)
+                results[(actor, v)] = data
+            yield from fd.close()
+
+        def main(env):
+            yield env.process(adios.bootstrap("atoms", "positions"))
+            procs = [env.process(writer(i)) for i in range(lib.topology.sim_actors)]
+            procs += [env.process(reader(j)) for j in range(lib.topology.ana_actors)]
+            yield env.all_of(procs)
+
+        env.process(main(env))
+        env.run()
+        return adios, var, full, results, rr
+
+    def test_full_roundtrip_through_xml_configured_method(self):
+        adios, var, full, results, rr = self.run_coupled_through_adios()
+        for (actor, v), data in results.items():
+            expected = full[rr[actor].local_slices(var.bounds)] + v
+            np.testing.assert_allclose(data, expected)
+
+    def test_method_dispatch_from_xml(self):
+        env = Environment()
+        cluster = Cluster(env, TITAN)
+        adios = Adios(LAMMPS_XML, cluster, nsim=4, nana=2)
+        lib = adios.library_for("atoms", "positions")
+        assert lib.name == "flexpath"
+
+    def test_nprocs_param_resolution(self):
+        env = Environment()
+        cluster = Cluster(env, TITAN)
+        adios = Adios(LAMMPS_XML, cluster, nsim=16, nana=8)
+        assert adios.variable("atoms", "positions").dims == (4, 16, 100)
+
+    def test_mode_enforcement(self):
+        env = Environment()
+        cluster = Cluster(env, TITAN)
+        adios = Adios(LAMMPS_XML, cluster, nsim=4, nana=2)
+        fd = adios.open("atoms", "r")
+        gen = fd.write("positions", Region((0, 0, 0), (1, 1, 1)), 0)
+        with pytest.raises(AdiosError):
+            next(gen)
+
+    def test_closed_handle_rejected(self):
+        env = Environment()
+        cluster = Cluster(env, TITAN)
+        adios = Adios(LAMMPS_XML, cluster, nsim=4, nana=2)
+        fd = adios.open("atoms", "w")
+
+        def proc(env):
+            yield from fd.close()
+
+        env.process(proc(env))
+        env.run()
+        with pytest.raises(AdiosError):
+            next(fd.write("positions", Region((0, 0, 0), (1, 1, 1)), 0))
+
+    def test_invalid_mode(self):
+        env = Environment()
+        cluster = Cluster(env, TITAN)
+        adios = Adios(LAMMPS_XML, cluster, nsim=4, nana=2)
+        with pytest.raises(AdiosError):
+            adios.open("atoms", "rw")
+
+    def test_unknown_group(self):
+        env = Environment()
+        cluster = Cluster(env, TITAN)
+        adios = Adios(LAMMPS_XML, cluster, nsim=4, nana=2)
+        with pytest.raises(KeyError):
+            adios.open("nope", "w")
+
+
+class TestXmlMethodParameters:
+    """Table I runtime settings flow from the XML into StagingConfig."""
+
+    def test_queue_size_reaches_flexpath(self):
+        xml = """
+        <adios-config>
+          <adios-group name="g"><var name="v" dimensions="4,nprocs,8"/></adios-group>
+          <method group="g" method="FLEXPATH">queue_size=3</method>
+        </adios-config>
+        """
+        env = Environment()
+        cluster = Cluster(env, TITAN)
+        adios = Adios(xml, cluster, nsim=4, nana=2)
+        lib = adios.library_for("g", "v")
+        assert lib.config.queue_size == 3
+
+    def test_lock_and_versions_reach_dataspaces(self):
+        xml = """
+        <adios-config>
+          <adios-group name="g"><var name="v" dimensions="4,nprocs,8"/></adios-group>
+          <method group="g" method="DATASPACES">lock_type=2;max_versions=2</method>
+        </adios-config>
+        """
+        env = Environment()
+        cluster = Cluster(env, TITAN)
+        adios = Adios(xml, cluster, nsim=4, nana=2)
+        lib = adios.library_for("g", "v")
+        assert lib.config.lock_type == 2
+        assert lib.config.max_versions == 2
+        assert lib.config.use_adios  # the framework flag survives
+
+    def test_unknown_parameters_tolerated(self):
+        xml = """
+        <adios-config>
+          <adios-group name="g"><var name="v" dimensions="4,nprocs,8"/></adios-group>
+          <method group="g" method="MPI">stats=off;verbose=2</method>
+        </adios-config>
+        """
+        env = Environment()
+        cluster = Cluster(env, TITAN)
+        adios = Adios(xml, cluster, nsim=4, nana=2)
+        lib = adios.library_for("g", "v")  # must not raise
+        assert lib.name == "mpiio"

@@ -1,0 +1,118 @@
+"""Unit tests for ADIOS XML configuration parsing."""
+
+import pytest
+
+from repro.adios import AdiosConfigError, parse_config
+
+GOOD_XML = """
+<adios-config>
+  <adios-group name="atoms">
+    <var name="positions" type="double" dimensions="5,nprocs,512000"/>
+    <var name="energy" type="double" dimensions="nprocs"/>
+    <attribute name="units" value="lj"/>
+  </adios-group>
+  <method group="atoms" method="DATASPACES">lock_type=2;max_versions=1</method>
+  <buffer size-MB="200"/>
+</adios-config>
+"""
+
+
+def test_parse_groups_and_vars():
+    config = parse_config(GOOD_XML)
+    group = config.group("atoms")
+    assert group.var("positions").dimensions == ("5", "nprocs", "512000")
+    assert group.var("energy").dtype == "double"
+    assert group.attributes == {"units": "lj"}
+
+
+def test_parse_method_and_params():
+    config = parse_config(GOOD_XML)
+    method = config.method_for("atoms")
+    assert method.method == "DATASPACES"
+    assert method.staging_method == "dataspaces-adios"
+    assert method.parameters == {"lock_type": "2", "max_versions": "1"}
+
+
+def test_buffer_size():
+    assert parse_config(GOOD_XML).buffer_mb == 200
+
+
+def test_resolve_dims():
+    config = parse_config(GOOD_XML)
+    decl = config.group("atoms").var("positions")
+    assert decl.resolve_dims({"nprocs": 32}) == (5, 32, 512000)
+
+
+def test_resolve_unknown_token():
+    config = parse_config(GOOD_XML)
+    decl = config.group("atoms").var("positions")
+    with pytest.raises(AdiosConfigError):
+        decl.resolve_dims({})
+
+
+def test_method_aliases():
+    for adios_name, repro_name in [
+        ("FLEXPATH", "flexpath"),
+        ("DIMES", "dimes-adios"),
+        ("MPI", "mpiio"),
+    ]:
+        xml = f"""
+        <adios-config>
+          <adios-group name="g"><var name="v" dimensions="4"/></adios-group>
+          <method group="g" method="{adios_name}"/>
+        </adios-config>
+        """
+        assert parse_config(xml).method_for("g").staging_method == repro_name
+
+
+def test_unknown_method_rejected():
+    xml = """
+    <adios-config>
+      <adios-group name="g"><var name="v" dimensions="4"/></adios-group>
+      <method group="g" method="CARRIER_PIGEON"/>
+    </adios-config>
+    """
+    with pytest.raises(AdiosConfigError):
+        parse_config(xml).method_for("g").staging_method
+
+
+def test_method_for_missing_group():
+    xml = """
+    <adios-config>
+      <adios-group name="g"><var name="v" dimensions="4"/></adios-group>
+      <method group="other" method="MPI"/>
+    </adios-config>
+    """
+    with pytest.raises(AdiosConfigError):
+        parse_config(xml)
+
+
+def test_invalid_xml():
+    with pytest.raises(AdiosConfigError):
+        parse_config("<adios-config><unclosed>")
+
+
+def test_wrong_root():
+    with pytest.raises(AdiosConfigError):
+        parse_config("<something/>")
+
+
+def test_var_without_dimensions():
+    xml = """
+    <adios-config>
+      <adios-group name="g"><var name="v"/></adios-group>
+    </adios-config>
+    """
+    with pytest.raises(AdiosConfigError):
+        parse_config(xml)
+
+
+def test_malformed_method_params():
+    xml = """
+    <adios-config>
+      <adios-group name="g"><var name="v" dimensions="4"/></adios-group>
+      <method group="g" method="MPI">not-a-pair</method>
+    </adios-config>
+    """
+    with pytest.raises(AdiosConfigError):
+        parse_config(xml)

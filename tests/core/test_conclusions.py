@@ -1,0 +1,38 @@
+"""Tests for the generated Section V conclusions."""
+
+import pytest
+
+from repro.core.conclusions import (
+    conclusions,
+    in_memory_speedup_at_scale,
+    portability_matrix,
+    resource_constrained_failures,
+)
+
+
+def test_in_memory_beats_mpiio_at_scale():
+    speedups = in_memory_speedup_at_scale(nsim=2048, nana=1024)
+    assert speedups  # at least one in-memory method completed
+    assert all(s > 1.0 for s in speedups.values())
+
+
+def test_resource_failures_cover_three_classes():
+    failures = resource_constrained_failures()
+    assert set(failures) == {"OutOfRdmaHandlers", "DrcOverload", "OutOfSockets"}
+
+
+def test_portability_matrix_complete():
+    matrix = portability_matrix()
+    assert matrix["dataspaces"] == ["ugni", "verbs", "tcp"]
+    assert matrix["flexpath"] == ["nnti", "tcp"]
+    assert matrix["decaf"] == ["mpi"]
+
+
+def test_conclusions_table_has_four_claims():
+    table = conclusions()
+    assert len(table.rows) == 4
+    text = table.render()
+    assert "beats post-processing" in text
+    assert "resource availability" in text
+    assert "portable" in text
+    assert "continued investment" in text

@@ -1,0 +1,163 @@
+"""Tests for the figure experiment runners (reduced parameters)."""
+
+import pytest
+
+from repro.core import figures as F
+from repro.hpc import KB, MB
+
+
+class TestFig2:
+    def test_small_sweep_structure(self):
+        table = F.fig2_end_to_end(
+            "lammps",
+            machines=("titan",),
+            scales=[(32, 16), (512, 256)],
+            methods=["mpiio", "flexpath"],
+        )
+        assert len(table.rows) == 2
+        assert all(isinstance(row["mpiio"], float) for row in table.rows)
+        assert all(row["sim-only"] > 0 for row in table.rows)
+
+    def test_failure_cells_marked(self):
+        table = F.fig2_end_to_end(
+            "lammps",
+            machines=("titan",),
+            scales=[(8192, 4096)],
+            methods=["dimes"],
+        )
+        assert "FAIL" in str(table.rows[0]["dimes"])
+
+
+class TestFig3:
+    def test_proportional_growth_and_remediation(self):
+        table = F.fig3_problem_size(
+            sizes=(512 * KB, 8 * MB, 128 * MB),
+            methods=("flexpath", "dataspaces"),
+            steps=2,
+        )
+        flex = table.column("flexpath")
+        assert flex[0] < flex[1] < flex[2]
+        # 128 MB succeeded only after the remediation note fired.
+        assert isinstance(table.rows[2]["dataspaces"], float)
+        assert any("doubled staging servers" in n for n in table.notes)
+
+    def test_unremediated_failure_visible(self):
+        table = F.fig3_problem_size(
+            sizes=(128 * MB,), methods=("dataspaces",), steps=1,
+            remediate=False,
+        )
+        assert "FAIL(OutOfRdmaMemory)" in str(table.rows[0]["dataspaces"])
+
+
+class TestFig4:
+    def test_handler_and_capacity_regimes(self):
+        table = F.fig4_rdma_limits()
+        by_size = {row["request size"]: row for row in table.rows}
+        assert by_size["512.0 KB"]["max concurrent"] == 3675
+        assert by_size["512.0 KB"]["binding limit"] == "handlers"
+        assert by_size["1.0 MB"]["max concurrent"] == 1843
+        assert by_size["1.0 MB"]["binding limit"] == "capacity"
+        assert by_size["128.0 MB"]["max concurrent"] == 14
+
+
+class TestFig5:
+    def test_timeline_rows_and_lammps_magnitude(self):
+        table = F.fig5_memory_timeline(
+            methods=("dataspaces", "decaf"), nsim=64, nana=32, steps=2,
+        )
+        ds_rows = [r for r in table.rows if r["method"] == "dataspaces"]
+        assert len(ds_rows) > 2
+        peak = max(r["sim (MB)"] for r in ds_rows)
+        assert peak == pytest.approx(400, rel=0.2)  # Figure 5's ~400 MB
+        decaf_rows = [r for r in table.rows if r["method"] == "decaf"]
+        decaf_peak = max(r["sim (MB)"] for r in decaf_rows)
+        assert decaf_peak > 1.25 * peak  # "Decaf needs 40% more memory"
+
+
+class TestFig6:
+    def test_quadratic_dataspaces_flat_dimes(self):
+        table = F.fig6_index_cost(sizes=(4 * MB, 16 * MB, 64 * MB))
+        ds = table.column("dataspaces server (MB)")
+        dimes = table.column("dimes server (MB)")
+        # DataSpaces grows superlinearly (quadratic trend).
+        assert ds[2] / ds[0] > 4
+        # DIMES stays small and ~flat.
+        assert max(dimes) < 0.2 * ds[2]
+
+    def test_paper_magnitude_at_64mb(self):
+        table = F.fig6_index_cost(sizes=(64 * MB,))
+        ds = table.rows[0]["dataspaces server (MB)"]
+        assert 3000 < ds < 9000  # ~6 GB in the paper
+        dimes = table.rows[0]["dimes server (MB)"]
+        assert dimes < 400  # ~154 MB in the paper
+
+
+class TestFig7:
+    def test_breakdown_categories(self):
+        table = F.fig7_memory_breakdown()
+        ds_cats = {r["category"] for r in table.rows if r["method"] == "dataspaces"}
+        assert "staged" in ds_cats
+        assert "index" in ds_cats
+        decaf = {
+            r["category"]: r["MB"] for r in table.rows if r["method"] == "decaf"
+        }
+        # 7x expansion of the 256 MB staged per Decaf server -> ~1.8 GB.
+        assert decaf["staged-rich"] == pytest.approx(1792, rel=0.35)
+
+
+class TestFig8:
+    def test_mismatched_layout_flagged(self):
+        table = F.fig8_layout_mapping()
+        mismatched = [r for r in table.rows if r["layout"] == "mismatched"]
+        assert all(r["n-to-1"] == "yes" for r in mismatched)
+        matched = [r for r in table.rows if r["layout"] == "matched"]
+        assert all(r["n-to-1"] == "no" for r in matched)
+
+
+class TestFig9:
+    def test_matched_layout_wins(self):
+        table = F.fig9_layout_impact(nsim=256, nana=128, steps=3)
+        times = {r["layout"]: r["end-to-end (s)"] for r in table.rows}
+        assert times["matched"] < times["mismatched"]
+        assert any("faster" in n for n in table.notes)
+
+
+class TestFig10:
+    def test_rdma_wins_and_socket_failure(self):
+        table = F.fig10_transport(
+            workflows=("lammps",), nsim=256, nana=128, steps=3,
+        )
+        gains = [r["rdma gain %"] for r in table.rows if r["rdma gain %"] is not None]
+        assert all(g >= 0 for g in gains)
+        plain = table.rows[-2]
+        assert "FAIL(OutOfSockets)" in str(plain["socket"])
+        pooled = table.rows[-1]
+        assert isinstance(pooled["socket"], float)  # the Table IV resolve
+
+
+class TestFig11:
+    def test_memory_drops_e2e_insensitive(self):
+        table = F.fig11_decaf_servers(server_counts=(8, 64), steps=2)
+        mem = table.column("memory/server (MB)")
+        e2e = table.column("end-to-end (s)")
+        assert mem[1] < 0.3 * mem[0]  # paper: -83.5%
+        assert abs(e2e[1] - e2e[0]) / e2e[0] < 0.10  # paper: only -5.5%
+
+
+class TestFig12:
+    def test_server_scaling_gains(self):
+        table = F.fig12_dataspaces_servers(server_counts=(1, 2), steps=3)
+        e2e = table.column("end-to-end (s)")
+        staging = table.column("staging (s)")
+        assert e2e[1] <= e2e[0]
+        assert staging[1] < staging[0]
+
+
+class TestFig13:
+    def test_shared_mode_table(self):
+        table = F.fig13_shared_memory(workflows=("lammps",), nsim=128, nana=64,
+                                      steps=3)
+        decaf_row = table.rows[-1]
+        assert "SchedulerPolicyViolation" in str(decaf_row["shared"])
+        flex_row = table.rows[0]
+        assert isinstance(flex_row["shared"], float)

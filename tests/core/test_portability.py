@@ -1,0 +1,37 @@
+"""Tests for the generated Section IV-B portability assessment."""
+
+import pytest
+
+from repro.core import Study, table_portability
+from repro.core.portability import (
+    adios_integration,
+    gpu_bounce_overhead,
+    transport_support,
+)
+
+
+def test_transport_support_matches_claims():
+    support = transport_support()
+    assert support["dataspaces"] == ["ugni", "nnti", "verbs", "tcp"]
+    assert support["decaf"] == ["mpi"]
+    assert "tcp" in support["flexpath"]
+
+
+def test_adios_integration_matrix():
+    matrix = adios_integration()
+    assert matrix["dataspaces"]
+    assert matrix["dimes"]
+    assert matrix["flexpath"]
+    assert not matrix["decaf"]  # Decaf stands outside the framework
+
+
+def test_gpu_bounce_costs_measurable_time():
+    ratio = gpu_bounce_overhead()
+    assert ratio > 1.05
+
+
+def test_table_structure():
+    table = table_portability()
+    levels = {row["level"] for row in table.rows}
+    assert levels == {"hardware", "transport", "application"}
+    assert "portability" in Study().experiments()

@@ -1,0 +1,116 @@
+"""Unit tests for TableResult rendering and the static tables."""
+
+import pytest
+
+from repro.core import (
+    TableResult,
+    loc,
+    table1_build_configs,
+    table2_workflows,
+    table3_usability,
+    table5_findings,
+    total_loc,
+)
+from repro.core.findings import FINDINGS
+from repro.core.usability import RECIPES
+
+
+class TestTableResult:
+    def test_add_and_column(self):
+        t = TableResult("X", "demo", ["a", "b"])
+        t.add(a=1, b=2)
+        t.add(a=3, b=4)
+        assert t.column("a") == [1, 3]
+        assert t.column("missing") == [None, None]
+
+    def test_render_contains_all_cells(self):
+        t = TableResult("Fig 0", "demo", ["name", "value"])
+        t.add(name="alpha", value=1.25)
+        t.note("a note")
+        text = t.render()
+        assert "Fig 0: demo" in text
+        assert "alpha" in text
+        assert "1.2" in text
+        assert "note: a note" in text
+
+    def test_render_missing_cell_as_dash(self):
+        t = TableResult("T", "demo", ["a", "b"])
+        t.add(a="x")
+        assert "| -" in t.render() or " - " in t.render()
+
+    def test_render_empty_table(self):
+        t = TableResult("T", "demo", ["only"])
+        assert "only" in t.render()
+
+
+class TestStaticTables:
+    def test_table1_covers_all_methods(self):
+        table = table1_build_configs()
+        methods = " ".join(str(row["method"]) for row in table.rows)
+        for name in ("DataSpaces", "MPI-IO", "Flexpath", "Decaf"):
+            assert name in methods
+
+    def test_table2_reports_paper_output_sizes(self):
+        table = table2_workflows()
+        by_name = {row["workflow"]: row for row in table.rows}
+        # LAMMPS ~20 MB/processor, Laplace 128 MB/processor.
+        assert by_name["lammps"]["bytes/proc @64"] == pytest.approx(20.48e6, rel=0.02)
+        assert by_name["laplace"]["bytes/proc @64"] == 128 * 1024 * 1024
+
+    def test_table5_matrix_matches_paper(self):
+        table = table5_findings()
+        assert len(table.rows) == 8
+        rows = {row["finding"]: row for row in table.rows}
+        assert rows["Finding 1"]["DataSpaces"] == "+"
+        assert rows["Finding 1"]["DIMES"] == "-"
+        assert rows["Finding 2"]["Decaf"] == "+"
+        assert rows["Finding 2"]["DataSpaces"] == "+/-"
+        assert rows["Finding 8"]["Decaf"] == "+"
+        assert rows["Finding 8"]["Flexpath"] == "-"
+
+    def test_every_finding_has_a_verifier(self):
+        assert all(f.verify is not None for f in FINDINGS)
+
+
+class TestUsability:
+    def test_loc_ignores_blank_and_comments(self):
+        snippet = """
+        # comment
+        a = 1
+
+        b = 2
+        """
+        assert loc(snippet) == 2
+
+    def test_recipes_cover_all_libraries(self):
+        libraries = {r.library for r in RECIPES}
+        assert libraries == {
+            "DataSpaces/DIMES (ADIOS)",
+            "DataSpaces/DIMES (native)",
+            "Flexpath",
+            "Decaf",
+        }
+
+    def test_paper_orderings_hold_in_our_recipes(self):
+        table = table3_usability()
+        by_key = {
+            (row["library"], row["category"]): row["LOC (ours)"]
+            for row in table.rows
+        }
+        native_api = by_key[("DataSpaces/DIMES (native)", "Data staging API")]
+        adios_api = by_key[("DataSpaces/DIMES (ADIOS)", "ADIOS data staging API")]
+        assert native_api > 1.5 * adios_api
+        flexpath_build = by_key[("Flexpath", "Build options")]
+        ds_build = by_key[("DataSpaces/DIMES (ADIOS)", "Build options")]
+        assert flexpath_build < ds_build
+        assert ("Decaf", "Bootstrap script") in by_key
+
+    def test_measured_loc_close_to_paper(self):
+        for recipe in RECIPES:
+            assert recipe.measured_loc == pytest.approx(recipe.paper_loc, rel=0.35)
+
+    def test_total_loc(self):
+        assert total_loc("Flexpath") == sum(
+            r.measured_loc for r in RECIPES if r.library == "Flexpath"
+        )
+        assert total_loc("nonexistent") == 0

@@ -1,0 +1,47 @@
+"""Tests for the Table IV lesson runner and the Study orchestrator."""
+
+import pytest
+
+from repro.core import LESSONS, Study, table4_robustness
+
+
+class TestLessons:
+    def test_all_five_paper_issues_covered(self):
+        issues = {lesson.issue for lesson in LESSONS}
+        assert issues == {
+            "Out of RDMA memory",
+            "Data dimension overflow",
+            "Out of main memory",
+            "Out of sockets",
+            "Out of DRC",
+        }
+
+    @pytest.mark.parametrize("lesson", LESSONS, ids=lambda l: l.issue)
+    def test_lesson_triggers_and_resolves(self, lesson):
+        assert lesson.trigger() is None, f"{lesson.issue}: trigger failed"
+        assert lesson.resolve() is None, f"{lesson.issue}: resolve failed"
+
+    def test_table4_all_green(self):
+        table = table4_robustness()
+        for row in table.rows:
+            assert row["failure reproduced"] == "yes"
+            assert row["resolve demonstrated"] == "yes"
+
+
+class TestStudy:
+    def test_experiment_registry_covers_all_figures_and_tables(self):
+        study = Study()
+        idents = set(study.experiments())
+        expected = {f"fig{i}" for i in range(3, 14)} | {"fig2a", "fig2b"}
+        expected |= {f"table{i}" for i in range(1, 6)}
+        expected |= {"portability", "conclusions"}
+        assert idents == expected
+
+    def test_run_selected_and_report(self):
+        study = Study()
+        results = study.run(only=["fig4", "table1", "table5"])
+        assert set(results) == {"fig4", "table1", "table5"}
+        report = study.report()
+        assert "Figure 4" in report
+        assert "Table I" in report
+        assert "Table V" in report

@@ -1,0 +1,168 @@
+"""Unit tests for the DRC service and socket descriptor tables."""
+
+import pytest
+
+from repro.hpc import (
+    DrcOverload,
+    DrcPolicyViolation,
+    DrcService,
+    OutOfSockets,
+    SocketTable,
+)
+from repro.sim import Environment
+
+
+class TestDrc:
+    def test_acquire_grants_credential(self):
+        env = Environment()
+        drc = DrcService(env)
+        got = []
+
+        def proc(env):
+            cred = yield env.process(drc.acquire("job1", node_id=0))
+            got.append(cred)
+
+        env.process(proc(env))
+        env.run()
+        assert got[0].job_id == "job1"
+        assert drc.requests_served == 1
+
+    def test_single_server_serializes_requests(self):
+        env = Environment()
+        drc = DrcService(env, service_time=1.0)
+        done = []
+
+        def proc(env, node):
+            yield env.process(drc.acquire("job1", node_id=node))
+            done.append(env.now)
+
+        for i in range(3):
+            env.process(proc(env, i))
+        env.run()
+        assert done == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_overload_raises(self):
+        env = Environment()
+        drc = DrcService(env, max_pending=2, service_time=1.0)
+        failures = []
+
+        def proc(env, i):
+            try:
+                yield env.process(drc.acquire("job1", node_id=i))
+            except DrcOverload:
+                failures.append(i)
+
+        for i in range(4):
+            env.process(proc(env, i))
+        env.run()
+        assert len(failures) == 2  # two beyond the backlog limit
+
+    def test_node_sharing_policy(self):
+        env = Environment()
+        drc = DrcService(env)
+
+        def job1(env):
+            yield env.process(drc.acquire("job1", node_id=5))
+
+        def job2(env):
+            yield env.timeout(1)
+            yield env.process(drc.acquire("job2", node_id=5))
+
+        env.process(job1(env))
+        env.process(job2(env))
+        with pytest.raises(DrcPolicyViolation):
+            env.run()
+
+    def test_node_insecure_allows_sharing(self):
+        env = Environment()
+        drc = DrcService(env, node_insecure=True)
+        creds = []
+
+        def proc(env, job):
+            cred = yield env.process(drc.acquire(job, node_id=5))
+            creds.append(cred)
+
+        env.process(proc(env, "job1"))
+        env.process(proc(env, "job2"))
+        env.run()
+        assert len(creds) == 2
+
+    def test_same_job_reacquire_on_node_ok(self):
+        env = Environment()
+        drc = DrcService(env)
+        count = []
+
+        def proc(env):
+            yield env.process(drc.acquire("job1", node_id=3))
+            yield env.process(drc.acquire("job1", node_id=3))
+            count.append(1)
+
+        env.process(proc(env))
+        env.run()
+        assert count == [1]
+
+    def test_release_frees_node_for_other_job(self):
+        env = Environment()
+        drc = DrcService(env)
+        creds = []
+
+        def proc(env):
+            cred = yield env.process(drc.acquire("job1", node_id=7))
+            drc.release(cred, node_id=7)
+            cred2 = yield env.process(drc.acquire("job2", node_id=7))
+            creds.append(cred2)
+
+        env.process(proc(env))
+        env.run()
+        assert creds[0].job_id == "job2"
+
+
+class TestSockets:
+    def test_connect_consumes_both_ends(self):
+        a = SocketTable("a", max_descriptors=10)
+        b = SocketTable("b", max_descriptors=10)
+        conn = a.connect(b)
+        assert a.in_use == 1
+        assert b.in_use == 1
+        conn.close()
+        assert a.in_use == 0
+        assert b.in_use == 0
+
+    def test_close_idempotent(self):
+        a = SocketTable("a")
+        b = SocketTable("b")
+        conn = a.connect(b)
+        conn.close()
+        conn.close()
+        assert a.in_use == 0
+
+    def test_exhaustion_raises(self):
+        server = SocketTable("server", max_descriptors=2)
+        clients = [SocketTable(f"c{i}") for i in range(3)]
+        clients[0].connect(server)
+        clients[1].connect(server)
+        with pytest.raises(OutOfSockets):
+            clients[2].connect(server)
+        assert clients[2].failed_connects == 1
+
+    def test_peak_tracking(self):
+        a = SocketTable("a")
+        b = SocketTable("b")
+        conns = [a.connect(b) for _ in range(5)]
+        for conn in conns:
+            conn.close()
+        assert a.peak == 5
+        assert a.in_use == 0
+
+    def test_close_all(self):
+        a = SocketTable("a")
+        peers = [SocketTable(f"p{i}") for i in range(4)]
+        for p in peers:
+            a.connect(p)
+        a.close_all()
+        assert a.in_use == 0
+        assert all(p.in_use == 0 for p in peers)
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            SocketTable("x", max_descriptors=0)

@@ -1,0 +1,97 @@
+"""Unit tests for the GPU staging-gap extension."""
+
+import pytest
+
+from repro.hpc import Cluster, GB, MB, OutOfMemory, TITAN
+from repro.hpc.gpu import GpuDevice, stage_from_gpu, stage_from_gpu_direct
+from repro.sim import Environment
+from repro.staging import Variable, application_decomposition, make_library
+
+
+def setup_gpu():
+    env = Environment()
+    cluster = Cluster(env, TITAN)
+    gpu = GpuDevice(env, cluster.node(0))
+    return env, cluster, gpu
+
+
+class TestGpuDevice:
+    def test_device_memory_limit_6gb(self):
+        env, cluster, gpu = setup_gpu()
+        gpu.allocate(5 * GB)
+        with pytest.raises(OutOfMemory):
+            gpu.allocate(2 * GB)
+
+    def test_d2h_pays_pcie_time(self):
+        env, cluster, gpu = setup_gpu()
+
+        def proc(env):
+            yield from gpu.copy_to_host(600 * MB)
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == pytest.approx(600 * MB / (6 * GB), rel=0.01)
+        assert gpu.d2h_bytes == 600 * MB
+
+    def test_h2d_accounting(self):
+        env, cluster, gpu = setup_gpu()
+
+        def proc(env):
+            yield from gpu.copy_to_device(10 * MB)
+
+        env.process(proc(env))
+        env.run()
+        assert gpu.h2d_bytes == 10 * MB
+
+
+class TestGpuStaging:
+    def make_library(self, cluster):
+        var = Variable("field", (8, 8, 1000))
+        lib = make_library(
+            "flexpath", cluster, nsim=8, nana=4, variable=var, steps=1,
+            topology_overrides=dict(sim_ranks_per_node=1, ana_ranks_per_node=1),
+        )
+        return var, lib
+
+    def run_staged(self, stage_fn):
+        env = Environment()
+        cluster = Cluster(env, TITAN)
+        var, lib = self.make_library(cluster)
+        regions = application_decomposition(var, lib.topology.sim_actors, 1)
+        gpus = [
+            GpuDevice(env, lib.placement.node_of("simulation", i))
+            for i in range(lib.topology.sim_actors)
+        ]
+        done = {}
+
+        def writer(i):
+            yield from stage_fn(gpus[i], lib, i, regions[i], 0)
+            done[i] = env.now
+
+        def reader(j):
+            read = application_decomposition(var, lib.topology.ana_actors, 1)
+            yield env.process(lib.get(j, read[j], 0))
+
+        def main(env):
+            yield env.process(lib.bootstrap())
+            procs = [env.process(writer(i)) for i in range(lib.topology.sim_actors)]
+            procs += [env.process(reader(j)) for j in range(lib.topology.ana_actors)]
+            yield env.all_of(procs)
+
+        env.process(main(env))
+        env.run()
+        return max(done.values()), gpus
+
+    def test_bounce_through_host_is_slower_than_direct(self):
+        """The portability gap: D2H copies cost real time; NVLink-style
+        direct staging (the paper's future-work path) avoids them."""
+        bounce_time, bounce_gpus = self.run_staged(stage_from_gpu)
+        direct_time, direct_gpus = self.run_staged(stage_from_gpu_direct)
+        assert bounce_time > direct_time
+        assert sum(g.d2h_bytes for g in bounce_gpus) > 0
+        assert sum(g.d2h_bytes for g in direct_gpus) == 0
+
+    def test_bounce_buffer_released(self):
+        _, gpus = self.run_staged(stage_from_gpu)
+        for gpu in gpus:
+            assert gpu.node.memory.category_total("gpu-staging-bounce") == 0

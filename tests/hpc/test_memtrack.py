@@ -1,0 +1,97 @@
+"""Unit tests for hierarchical memory tracking."""
+
+import pytest
+
+from repro.hpc import MB, MemoryTracker, OutOfMemory
+from repro.sim import Environment
+
+
+def test_allocate_and_free_roundtrip():
+    env = Environment()
+    mt = MemoryTracker(env, "p0")
+    a = mt.allocate(100 * MB, "calculation")
+    assert mt.total == 100 * MB
+    assert mt.category_total("calculation") == 100 * MB
+    mt.free(a)
+    assert mt.total == 0
+    assert mt.peak == 100 * MB
+
+
+def test_free_is_idempotent():
+    env = Environment()
+    mt = MemoryTracker(env, "p0")
+    a = mt.allocate(10)
+    mt.free(a)
+    mt.free(a)
+    assert mt.total == 0
+
+
+def test_limit_enforced():
+    env = Environment()
+    mt = MemoryTracker(env, "p0", limit=50 * MB)
+    mt.allocate(40 * MB)
+    with pytest.raises(OutOfMemory):
+        mt.allocate(20 * MB)
+    assert mt.total == 40 * MB  # failed alloc leaves no residue
+
+
+def test_parent_limit_enforced_across_children():
+    env = Environment()
+    node = MemoryTracker(env, "node", limit=100 * MB)
+    p0 = MemoryTracker(env, "p0", parent=node)
+    p1 = MemoryTracker(env, "p1", parent=node)
+    p0.allocate(60 * MB)
+    with pytest.raises(OutOfMemory):
+        p1.allocate(60 * MB)
+    p1.allocate(40 * MB)
+    assert node.total == 100 * MB
+
+
+def test_parent_sees_child_categories():
+    env = Environment()
+    node = MemoryTracker(env, "node")
+    p0 = MemoryTracker(env, "p0", parent=node)
+    p0.allocate(5 * MB, "staging")
+    assert node.category_total("staging") == 5 * MB
+
+
+def test_breakdown_drops_empty_categories():
+    env = Environment()
+    mt = MemoryTracker(env, "p0")
+    a = mt.allocate(1 * MB, "index")
+    mt.allocate(2 * MB, "buffering")
+    mt.free(a)
+    assert mt.breakdown() == {"buffering": 2 * MB}
+
+
+def test_timeline_records_every_change():
+    env = Environment()
+    mt = MemoryTracker(env, "p0")
+
+    def proc(env):
+        a = mt.allocate(10 * MB)
+        yield env.timeout(5)
+        mt.allocate(10 * MB)
+        yield env.timeout(5)
+        mt.free(a)
+
+    env.process(proc(env))
+    env.run()
+    assert mt.series.value_at(0) == 10 * MB
+    assert mt.series.value_at(5) == 20 * MB
+    assert mt.series.value_at(10) == 10 * MB
+    assert mt.series.peak() == 20 * MB
+
+
+def test_negative_allocation_rejected():
+    env = Environment()
+    mt = MemoryTracker(env, "p0")
+    with pytest.raises(ValueError):
+        mt.allocate(-1)
+
+
+def test_free_wrong_tracker_rejected():
+    env = Environment()
+    a = MemoryTracker(env, "a").allocate(1)
+    with pytest.raises(ValueError):
+        MemoryTracker(env, "b").free(a)

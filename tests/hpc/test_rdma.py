@@ -1,0 +1,112 @@
+"""Unit tests for the uGNI-style RDMA pool (paper Figure 4 behaviour)."""
+
+import pytest
+
+from repro.hpc import KB, MB, OutOfRdmaHandlers, OutOfRdmaMemory, RdmaPool, TITAN
+from repro.sim import Environment
+
+
+def make_titan_pool(env):
+    node = TITAN.node
+    return RdmaPool(env, node.rdma_capacity, node.rdma_max_handlers)
+
+
+def test_register_deregister_roundtrip():
+    env = Environment()
+    pool = make_titan_pool(env)
+    h = pool.register(100 * MB)
+    assert pool.registered == 100 * MB
+    assert pool.num_handlers == 1
+    pool.deregister(h)
+    assert pool.registered == 0
+    assert pool.num_handlers == 0
+
+
+def test_deregister_idempotent():
+    env = Environment()
+    pool = make_titan_pool(env)
+    h = pool.register(1 * MB)
+    pool.deregister(h)
+    pool.deregister(h)
+    assert pool.registered == 0
+
+
+def test_capacity_exceeded_fails_hard():
+    env = Environment()
+    pool = make_titan_pool(env)
+    pool.register(1800 * MB)
+    with pytest.raises(OutOfRdmaMemory):
+        pool.register(100 * MB)
+    assert pool.failed_registrations == 1
+
+
+def test_handler_limit_enforced():
+    env = Environment()
+    pool = RdmaPool(env, capacity=10 * MB, max_handlers=3)
+    for _ in range(3):
+        pool.register(1)
+    with pytest.raises(OutOfRdmaHandlers):
+        pool.register(1)
+
+
+def test_fig4_small_requests_bound_by_handlers():
+    """Requests <= 512 KB: at most 3,675 concurrent registrations."""
+    env = Environment()
+    pool = make_titan_pool(env)
+    assert pool.max_concurrent_registrations(512 * KB) == 3675
+    assert pool.max_concurrent_registrations(4 * KB) == 3675
+
+
+def test_fig4_large_requests_bound_by_capacity():
+    """Requests > 512 KB: bound by the 1,843 MB capacity."""
+    env = Environment()
+    pool = make_titan_pool(env)
+    assert pool.max_concurrent_registrations(1 * MB) == 1843
+    assert pool.max_concurrent_registrations(128 * MB) == 14
+    assert pool.max_concurrent_registrations(2048 * MB) == 0
+
+
+def test_register_with_retry_waits_for_release():
+    env = Environment()
+    pool = RdmaPool(env, capacity=10 * MB, max_handlers=10)
+    events = []
+
+    def holder(env):
+        h = pool.register(8 * MB)
+        yield env.timeout(5)
+        pool.deregister(h)
+
+    def retrier(env):
+        handle = yield env.process(
+            pool.register_with_retry(8 * MB, retry_interval=1)
+        )
+        events.append((env.now, handle.nbytes))
+
+    env.process(holder(env))
+    env.process(retrier(env))
+    env.run()
+    assert len(events) == 1
+    assert events[0][0] == pytest.approx(5, abs=1.01)
+
+
+def test_register_with_retry_gives_up():
+    env = Environment()
+    pool = RdmaPool(env, capacity=10 * MB, max_handlers=10)
+    pool.register(8 * MB)  # never released
+
+    def retrier(env):
+        yield env.process(
+            pool.register_with_retry(8 * MB, retry_interval=0.1, max_retries=3)
+        )
+
+    env.process(retrier(env))
+    with pytest.raises(OutOfRdmaMemory):
+        env.run()
+
+
+def test_unlimited_pool():
+    env = Environment()
+    pool = RdmaPool(env, capacity=None, max_handlers=None)
+    for _ in range(5000):
+        pool.register(10 * MB)
+    assert pool.num_handlers == 5000

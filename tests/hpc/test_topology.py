@@ -1,0 +1,105 @@
+"""Unit and property tests for the interconnect topology models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hpc import Cluster, CORI, TITAN
+from repro.hpc.topology import (
+    Topology3dTorus,
+    TopologyDragonfly,
+    make_topology,
+)
+from repro.sim import Environment
+
+
+class TestTorus:
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Topology3dTorus((0, 2, 2))
+        with pytest.raises(ValueError):
+            Topology3dTorus((2, 2))
+
+    def test_coordinates_roundtrip(self):
+        torus = Topology3dTorus((4, 3, 2))
+        seen = set()
+        for node in range(torus.num_nodes):
+            seen.add(torus.coordinates(node))
+        assert len(seen) == 24
+
+    def test_self_distance_zero(self):
+        torus = Topology3dTorus((4, 4, 4))
+        assert torus.hops(5, 5) == 0
+
+    def test_neighbors_one_hop(self):
+        torus = Topology3dTorus((4, 4, 4))
+        assert torus.hops(0, 1) == 1
+        assert torus.hops(0, 4) == 1    # +1 in y
+        assert torus.hops(0, 16) == 1   # +1 in z
+
+    def test_wraparound(self):
+        torus = Topology3dTorus((4, 4, 4))
+        assert torus.hops(0, 3) == 1  # 0 -> 3 wraps in x
+
+    def test_diameter_bound(self):
+        torus = Topology3dTorus((4, 4, 4))
+        for a in range(0, 64, 7):
+            for b in range(0, 64, 5):
+                assert torus.hops(a, b) <= torus.diameter() == 6
+
+    def test_sized_for_titan(self):
+        torus = Topology3dTorus.for_node_count(TITAN.num_nodes)
+        assert torus.num_nodes >= TITAN.num_nodes
+
+    @given(st.integers(0, 63), st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=80)
+    def test_property_metric(self, a, b, c):
+        torus = Topology3dTorus((4, 4, 4))
+        # Symmetry and triangle inequality.
+        assert torus.hops(a, b) == torus.hops(b, a)
+        assert torus.hops(a, c) <= torus.hops(a, b) + torus.hops(b, c)
+
+
+class TestDragonfly:
+    def test_intra_group_one_hop(self):
+        df = TopologyDragonfly(group_size=96)
+        assert df.hops(0, 95) == 1
+        assert df.hops(3, 3) == 0
+
+    def test_inter_group_three_hops(self):
+        df = TopologyDragonfly(group_size=96)
+        assert df.hops(0, 96) == 3
+        assert df.hops(10, 5000) == 3
+
+    def test_flat_diameter(self):
+        assert TopologyDragonfly().diameter() == 3
+
+    def test_invalid_group(self):
+        with pytest.raises(ValueError):
+            TopologyDragonfly(group_size=0)
+
+
+class TestClusterIntegration:
+    def test_factory(self):
+        assert make_topology("3d-torus", 64).name == "3d-torus"
+        assert make_topology("dragonfly", 64).name == "dragonfly"
+        with pytest.raises(ValueError):
+            make_topology("hypercube", 64)
+
+    def test_titan_uses_torus_cori_dragonfly(self):
+        env = Environment()
+        assert Cluster(env, TITAN).topology.name == "3d-torus"
+        assert Cluster(Environment(), CORI).topology.name == "dragonfly"
+
+    def test_distant_nodes_pay_more_latency_on_torus(self):
+        env = Environment()
+        cluster = Cluster(env, TITAN)
+        near = cluster.link(cluster.node(0), cluster.node(1))
+        far = cluster.link(cluster.node(0), cluster.node(9000))
+        assert far.latency > near.latency
+
+    def test_dragonfly_latency_flat(self):
+        env = Environment()
+        cluster = Cluster(env, CORI)
+        a = cluster.link(cluster.node(0), cluster.node(100))
+        b = cluster.link(cluster.node(0), cluster.node(9000))
+        assert a.latency == b.latency

@@ -1,0 +1,77 @@
+"""Small-unit coverage: byte formatting, constants, reprs."""
+
+import pytest
+
+from repro.hpc import (
+    GB,
+    KB,
+    MB,
+    PB,
+    TB,
+    UINT32_MAX,
+    UINT64_MAX,
+    fmt_bytes,
+)
+from repro.hpc.memtrack import Allocation, MemoryTracker
+from repro.sim import Environment
+
+
+class TestUnits:
+    def test_scaling_chain(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+        assert PB == 1024 * TB
+
+    def test_uint_bounds(self):
+        assert UINT32_MAX == 2**32 - 1
+        assert UINT64_MAX == 2**64 - 1
+
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (0, "0.0 B"),
+            (512, "512.0 B"),
+            (1024, "1.0 KB"),
+            (1536, "1.5 KB"),
+            (3 * MB, "3.0 MB"),
+            (2 * GB, "2.0 GB"),
+            (5 * TB, "5.0 TB"),
+            (2 * PB, "2.0 PB"),
+            (4096 * PB, "4096.0 PB"),  # saturates at PB
+        ],
+    )
+    def test_fmt_bytes(self, nbytes, expected):
+        assert fmt_bytes(nbytes) == expected
+
+    def test_fmt_bytes_negative(self):
+        assert fmt_bytes(-2048) == "-2.0 KB"
+
+
+class TestReprs:
+    def test_allocation_repr(self):
+        env = Environment()
+        mt = MemoryTracker(env, "p")
+        alloc = mt.allocate(3 * MB, "index")
+        assert "3.0 MB" in repr(alloc)
+        assert "index" in repr(alloc)
+        assert "live" in repr(alloc)
+        mt.free(alloc)
+        assert "freed" in repr(alloc)
+
+    def test_tracker_repr(self):
+        env = Environment()
+        mt = MemoryTracker(env, "proc7")
+        mt.allocate(1 * MB)
+        assert "proc7" in repr(mt)
+        assert "peak" in repr(mt)
+
+    def test_node_repr_shows_death(self):
+        from repro.hpc import Cluster, TITAN
+
+        env = Environment()
+        node = Cluster(env, TITAN).node(3)
+        assert repr(node) == "<Node 3>"
+        node.fail()
+        assert "DEAD" in repr(node)

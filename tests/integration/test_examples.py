@@ -1,0 +1,38 @@
+"""Every example script must run clean end to end.
+
+Examples are part of the public surface (deliverable b); these tests
+execute each one in a subprocess and check for success and the expected
+headline output.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+CASES = [
+    ("quickstart.py", "quickstart complete"),
+    ("lammps_msd_workflow.py", "MSD"),
+    ("laplace_mta_workflow.py", "distributed moments == single-pass"),
+    ("parallel_laplace_workflow.py", "parallel moments == serial reference"),
+    ("adios_xml_workflow.py", "data verified"),
+    ("data_layout.py", "N-to-1 herding"),
+    ("transport_comparison.py", "OutOfSockets"),
+    ("workflow_timeline.py", "legend:"),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout

@@ -1,0 +1,138 @@
+"""Integration tests for the resilience extension (Section IV-C).
+
+The paper: "Resilience mechanisms for machine failures have not been
+constructed in existing in-memory computing libraries."  These tests
+demonstrate the consequence (a staging-server crash loses staged data)
+and the extension that fixes it (fragment replication).
+"""
+
+import numpy as np
+import pytest
+
+from repro.hpc import Cluster, DataLoss, TITAN
+from repro.sim import Environment
+from repro.staging import (
+    StagingConfig,
+    Variable,
+    application_decomposition,
+    make_library,
+)
+
+NSIM, NANA, NSERVERS = 8, 4, 4
+
+
+def run_with_failure(replication_factor, kill_server=0):
+    """Stage a version, kill one staging server, then read everything."""
+    env = Environment()
+    cluster = Cluster(env, TITAN)
+    var = Variable("field", (4, NSIM, 64))
+    config = StagingConfig(
+        transport="ugni", replication_factor=replication_factor
+    )
+    lib = make_library(
+        "dataspaces", cluster, nsim=NSIM, nana=NANA, variable=var, steps=1,
+        num_servers=NSERVERS, config=config,
+        topology_overrides=dict(sim_ranks_per_node=1, ana_ranks_per_node=1),
+    )
+    writes = application_decomposition(var, lib.topology.sim_actors, 1)
+    reads = application_decomposition(var, lib.topology.ana_actors, 1)
+    rng = np.random.default_rng(0)
+    truth = rng.random(var.dims)
+    got = {}
+
+    def writer(i):
+        block = truth[writes[i].local_slices(var.bounds)]
+        yield env.process(lib.put(i, writes[i], 0, block))
+
+    def reader(j):
+        total, data = yield env.process(lib.get(j, reads[j], 0))
+        got[j] = data
+
+    def main(env):
+        yield env.process(lib.bootstrap())
+        yield env.all_of([env.process(writer(i)) for i in range(lib.topology.sim_actors)])
+        # The crash: one staging node dies after the data is staged.
+        lib.servers[kill_server].node.fail()
+        yield env.all_of([env.process(reader(j)) for j in range(lib.topology.ana_actors)])
+
+    env.process(main(env))
+    env.run()
+    return lib, var, truth, reads, got
+
+
+def test_no_replication_loses_staged_data():
+    """The state of the art: a server crash makes gets fail."""
+    env = Environment()
+    with pytest.raises(DataLoss):
+        run_with_failure(replication_factor=1)
+
+
+def test_replication_survives_one_failure():
+    """The extension: factor-2 replication rides through the crash."""
+    lib, var, truth, reads, got = run_with_failure(replication_factor=2)
+    for j, data in got.items():
+        np.testing.assert_allclose(
+            data, truth[reads[j].local_slices(var.bounds)]
+        )
+
+
+def test_replication_doubles_server_memory():
+    env = Environment()
+    cluster = Cluster(env, TITAN)
+    var = Variable("field", (4, NSIM, 64))
+
+    def staged_total(factor):
+        config = StagingConfig(transport="ugni", replication_factor=factor)
+        lib = make_library(
+            "dataspaces", cluster if factor == 1 else Cluster(Environment(), TITAN),
+            nsim=NSIM, nana=NANA, variable=var, steps=1,
+            num_servers=NSERVERS, config=config,
+            topology_overrides=dict(sim_ranks_per_node=1, ana_ranks_per_node=1),
+        )
+        writes = application_decomposition(var, lib.topology.sim_actors, 1)
+        e = lib.env
+
+        def main(env):
+            yield env.process(lib.bootstrap())
+            yield env.all_of([
+                env.process(lib.put(i, writes[i], 0))
+                for i in range(lib.topology.sim_actors)
+            ])
+
+        e.process(main(e))
+        e.run()
+        return sum(s.memory.category_total("staged") for s in lib.servers)
+
+    assert staged_total(2) == pytest.approx(2 * staged_total(1), rel=0.01)
+
+
+def test_dead_replica_too_still_loses():
+    """Killing both the primary and its replica defeats factor 2."""
+    env = Environment()
+    cluster = Cluster(env, TITAN)
+    var = Variable("field", (4, NSIM, 64))
+    config = StagingConfig(transport="ugni", replication_factor=2)
+    lib = make_library(
+        "dataspaces", cluster, nsim=NSIM, nana=NANA, variable=var, steps=1,
+        num_servers=NSERVERS, config=config,
+        topology_overrides=dict(sim_ranks_per_node=1, ana_ranks_per_node=1),
+    )
+    writes = application_decomposition(var, lib.topology.sim_actors, 1)
+    reads = application_decomposition(var, lib.topology.ana_actors, 1)
+
+    def main(env):
+        yield env.process(lib.bootstrap())
+        yield env.all_of([
+            env.process(lib.put(i, writes[i], 0))
+            for i in range(lib.topology.sim_actors)
+        ])
+        lib.servers[0].node.fail()
+        lib.servers[1].node.fail()
+        yield env.all_of([
+            env.process(lib.get(j, reads[j], 0))
+            for j in range(lib.topology.ana_actors)
+        ])
+
+    env.process(main(env))
+    with pytest.raises(DataLoss):
+        env.run()

@@ -1,0 +1,123 @@
+"""Unit and property tests for MSD and the moment analysis (MTA)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    MomentAccumulator,
+    combine_slab_moments,
+    mean_squared_displacement,
+    msd_series,
+    turbulence_moments,
+)
+
+
+class TestMsd:
+    def test_zero_displacement(self):
+        pos = np.random.default_rng(0).random((10, 3))
+        assert mean_squared_displacement(pos, pos) == 0.0
+
+    def test_uniform_shift(self):
+        pos = np.zeros((5, 3))
+        shifted = pos + np.array([1.0, 2.0, 2.0])
+        assert mean_squared_displacement(shifted, pos) == pytest.approx(9.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_displacement(np.zeros((5, 3)), np.zeros((4, 3)))
+
+    def test_series(self):
+        ref = np.zeros((4, 3))
+        frames = [ref + i for i in range(3)]
+        series = msd_series(frames, ref)
+        assert series == [pytest.approx(0.0), pytest.approx(3.0), pytest.approx(12.0)]
+
+
+class TestMoments:
+    def test_known_values(self):
+        acc = MomentAccumulator().add_array(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert acc.n == 4
+        assert acc.mean == pytest.approx(2.5)
+        assert acc.variance == pytest.approx(1.25)
+
+    def test_against_numpy_moments(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(3.0, 2.0, 1000)
+        acc = MomentAccumulator().add_array(data)
+        centered = data - data.mean()
+        assert acc.central_moment(2) == pytest.approx(np.mean(centered**2))
+        assert acc.central_moment(3) == pytest.approx(np.mean(centered**3), rel=1e-9, abs=1e-9)
+        assert acc.central_moment(4) == pytest.approx(np.mean(centered**4))
+
+    def test_merge_matches_single_pass(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.random(400), rng.random(300) * 5
+        merged = MomentAccumulator().add_array(a).merge(
+            MomentAccumulator().add_array(b)
+        )
+        direct = MomentAccumulator().add_array(np.concatenate([a, b]))
+        assert merged.n == direct.n
+        assert merged.mean == pytest.approx(direct.mean)
+        assert merged.m2 == pytest.approx(direct.m2)
+        assert merged.m3 == pytest.approx(direct.m3, rel=1e-6, abs=1e-6)
+        assert merged.m4 == pytest.approx(direct.m4, rel=1e-6)
+
+    def test_merge_with_empty(self):
+        acc = MomentAccumulator().add_array(np.array([1.0, 2.0]))
+        merged = acc.merge(MomentAccumulator())
+        assert merged.n == 2
+        merged = MomentAccumulator().merge(acc)
+        assert merged.mean == pytest.approx(1.5)
+
+    def test_skewness_of_symmetric_data(self):
+        data = np.concatenate([np.arange(100.0), -np.arange(100.0)])
+        acc = MomentAccumulator().add_array(data)
+        assert acc.skewness == pytest.approx(0.0, abs=1e-9)
+
+    def test_kurtosis_of_normal_near_three(self):
+        rng = np.random.default_rng(11)
+        acc = MomentAccumulator().add_array(rng.normal(0, 1, 200000))
+        assert acc.kurtosis == pytest.approx(3.0, abs=0.1)
+
+    def test_invalid_order(self):
+        acc = MomentAccumulator().add_array(np.array([1.0]))
+        with pytest.raises(ValueError):
+            acc.central_moment(5)
+
+    def test_turbulence_moments_record(self):
+        field = np.random.default_rng(0).random((16, 16))
+        record = turbulence_moments(field)
+        assert set(record) == {"m2", "m3", "m4"}
+        assert record["m2"] > 0
+
+    def test_combine_slab_moments_equals_global(self):
+        """The parallel MTA invariant: per-slab merge == global pass."""
+        rng = np.random.default_rng(5)
+        field = rng.normal(0, 1, (8, 64))
+        slabs = np.split(field, 4, axis=1)
+        partials = [MomentAccumulator().add_array(s) for s in slabs]
+        combined = combine_slab_moments(partials)
+        direct = MomentAccumulator().add_array(field)
+        assert combined.central_moment(2) == pytest.approx(direct.central_moment(2))
+        assert combined.central_moment(4) == pytest.approx(direct.central_moment(4))
+
+    @given(
+        st.lists(
+            st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=60)
+    def test_property_merge_order_independent(self, blocks):
+        arrays = [np.array(b) for b in blocks]
+        forward = combine_slab_moments(
+            MomentAccumulator().add_array(a) for a in arrays
+        )
+        backward = combine_slab_moments(
+            MomentAccumulator().add_array(a) for a in reversed(arrays)
+        )
+        assert forward.n == backward.n
+        assert forward.mean == pytest.approx(backward.mean, rel=1e-9, abs=1e-9)
+        assert forward.m2 == pytest.approx(backward.m2, rel=1e-6, abs=1e-6)

@@ -1,0 +1,37 @@
+"""Unit tests for the calibrated cost models."""
+
+import pytest
+
+from repro.hpc import MB
+from repro.kernels import (
+    LAMMPS_COSTS,
+    LAPLACE_COSTS,
+    SYNTHETIC_COSTS,
+    laplace_ana_step_for_size,
+    laplace_sim_step_for_size,
+)
+
+
+def test_laplace_heavier_than_lammps():
+    """"The compute-intensive Laplace workflow" — both phases heavier."""
+    assert LAPLACE_COSTS.sim_step > LAMMPS_COSTS.sim_step
+    assert LAPLACE_COSTS.ana_step > LAMMPS_COSTS.ana_step
+
+
+def test_synthetic_has_no_compute():
+    assert SYNTHETIC_COSTS.sim_step == 0.0
+    assert SYNTHETIC_COSTS.ana_step == 0.0
+
+
+def test_laplace_size_scaling_anchored_at_128mb():
+    assert laplace_sim_step_for_size(128 * MB) == LAPLACE_COSTS.sim_step
+    assert laplace_ana_step_for_size(128 * MB) == LAPLACE_COSTS.ana_step
+
+
+def test_laplace_size_scaling_linear():
+    assert laplace_sim_step_for_size(64 * MB) == pytest.approx(
+        LAPLACE_COSTS.sim_step / 2
+    )
+    assert laplace_ana_step_for_size(32 * MB) == pytest.approx(
+        LAPLACE_COSTS.ana_step / 4
+    )

@@ -1,0 +1,61 @@
+"""Unit tests for the Jacobi Laplace kernel."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import LaplaceSimulation, analytic_error, jacobi_step
+
+
+def test_jacobi_step_preserves_boundaries():
+    sim = LaplaceSimulation((8, 8), top=100.0)
+    sim.step(5)
+    assert np.all(sim.grid[0, 1:-1] == 100.0)
+    assert np.all(sim.grid[-1, :] == 0.0)
+
+
+def test_jacobi_step_shape_validation():
+    with pytest.raises(ValueError):
+        jacobi_step(np.zeros((2, 5)))
+    with pytest.raises(ValueError):
+        jacobi_step(np.zeros(5))
+
+
+def test_change_decreases_monotonically_late():
+    sim = LaplaceSimulation((16, 16))
+    changes = [sim.step() for _ in range(100)]
+    assert changes[-1] < changes[10]
+
+
+def test_solve_converges():
+    sim = LaplaceSimulation((12, 12))
+    iters = sim.solve(tol=1e-3)
+    assert iters > 0
+    assert sim.last_change <= 1e-3
+
+
+def test_solve_max_iter_guard():
+    sim = LaplaceSimulation((64, 64))
+    with pytest.raises(RuntimeError):
+        sim.solve(tol=1e-12, max_iter=10)
+
+
+def test_interior_bounded_by_boundary_values():
+    """Maximum principle: the solution lies within the boundary range."""
+    sim = LaplaceSimulation((16, 16), top=100.0)
+    sim.solve(tol=1e-4)
+    interior = sim.grid[1:-1, 1:-1]
+    assert interior.min() >= 0.0
+    assert interior.max() <= 100.0
+
+
+def test_matches_analytic_series_solution():
+    sim = LaplaceSimulation((32, 32), top=100.0)
+    sim.solve(tol=1e-5)
+    assert analytic_error(sim.grid) < 1.0  # RMS out of a 0..100 range
+
+
+def test_snapshot_is_copy():
+    sim = LaplaceSimulation((8, 8))
+    snap = sim.snapshot()
+    snap[:] = -1
+    assert sim.grid.max() > 0

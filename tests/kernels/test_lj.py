@@ -1,0 +1,87 @@
+"""Unit tests for the Lennard-Jones MD kernel."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import LJSimulation, cubic_lattice, lj_forces
+
+
+def test_lattice_atom_count_and_box():
+    pos, box = cubic_lattice(2, density=0.8)
+    assert pos.shape == (32, 3)
+    assert box == pytest.approx((32 / 0.8) ** (1 / 3))
+    assert np.all(pos >= 0)
+    assert np.all(pos < box + 1e-9)
+
+
+def test_lattice_invalid_cells():
+    with pytest.raises(ValueError):
+        cubic_lattice(0)
+
+
+def test_forces_newtons_third_law():
+    pos, box = cubic_lattice(2)
+    forces, _ = lj_forces(pos, box)
+    np.testing.assert_allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+
+def test_forces_repulsive_at_close_range():
+    pos = np.array([[0.0, 0.0, 0.0], [0.9, 0.0, 0.0]])
+    forces, energy = lj_forces(pos, box=100.0)
+    # Below the LJ minimum (2^(1/6) sigma): strong repulsion apart.
+    assert forces[0, 0] < 0
+    assert forces[1, 0] > 0
+    assert energy > 0
+
+
+def test_forces_attractive_near_cutoff():
+    pos = np.array([[0.0, 0.0, 0.0], [1.5, 0.0, 0.0]])
+    forces, energy = lj_forces(pos, box=100.0)
+    assert forces[0, 0] > 0  # pulled toward the other atom
+    assert energy < 0
+
+
+def test_energy_drift_small_over_short_run():
+    sim = LJSimulation(cells=2, temperature=1.0, dt=0.002)
+    e0 = sim.total_energy
+    sim.step(50)
+    drift = abs(sim.total_energy - e0) / abs(e0)
+    assert drift < 0.05
+
+
+def test_momentum_conserved():
+    sim = LJSimulation(cells=2, temperature=2.0)
+    sim.step(20)
+    momentum = sim.velocities.sum(axis=0)
+    np.testing.assert_allclose(momentum, 0.0, atol=1e-8)
+
+
+def test_melting_increases_msd():
+    """The melt: atoms leave their lattice sites over time."""
+    from repro.kernels import mean_squared_displacement
+
+    sim = LJSimulation(cells=2, temperature=3.0)
+    ref = sim.unwrapped.copy()
+    sim.step(30)
+    early = mean_squared_displacement(sim.unwrapped, ref)
+    sim.step(60)
+    late = mean_squared_displacement(sim.unwrapped, ref)
+    assert late > early > 0
+
+
+def test_positions_stay_in_box():
+    sim = LJSimulation(cells=2, temperature=3.0)
+    sim.step(40)
+    assert np.all(sim.positions >= 0)
+    assert np.all(sim.positions < sim.box)
+
+
+def test_snapshot_shape_matches_table2_layout():
+    sim = LJSimulation(cells=2)
+    snap = sim.snapshot()
+    assert snap.shape == (5, sim.natoms)
+
+
+def test_temperature_positive():
+    sim = LJSimulation(cells=2, temperature=1.5)
+    assert sim.temperature > 0

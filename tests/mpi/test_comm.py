@@ -1,0 +1,207 @@
+"""Unit tests for the simulated MPI runtime."""
+
+import pytest
+
+from repro.hpc import Cluster, MB, TITAN
+from repro.mpi import ANY_SOURCE, Communicator
+from repro.sim import Environment
+
+
+def make_comm(nranks=4, machine=TITAN, ranks_per_node=2):
+    env = Environment()
+    cluster = Cluster(env, machine)
+    nodes = [cluster.node(i // ranks_per_node) for i in range(nranks)]
+    return env, Communicator(cluster, nodes, name="test")
+
+
+def test_empty_communicator_rejected():
+    env = Environment()
+    cluster = Cluster(env, TITAN)
+    with pytest.raises(ValueError):
+        Communicator(cluster, [])
+
+
+def test_send_recv_payload():
+    env, comm = make_comm(2)
+    got = []
+
+    def sender(rank):
+        yield from rank.send(1, payload={"x": 7}, nbytes=1 * MB, tag=5)
+
+    def receiver(rank):
+        msg = yield from rank.recv(src=0, tag=5)
+        got.append(msg.payload)
+
+    env.process(sender(comm.rank(0)))
+    env.process(receiver(comm.rank(1)))
+    env.run()
+    assert got == [{"x": 7}]
+    assert env.now > 0  # network time was paid
+
+
+def test_send_pays_network_time():
+    env, comm = make_comm(2, ranks_per_node=1)
+
+    def sender(rank):
+        yield from rank.send(1, nbytes=55 * MB)
+
+    def receiver(rank):
+        yield from rank.recv()
+
+    env.process(sender(comm.rank(0)))
+    env.process(receiver(comm.rank(1)))
+    env.run()
+    # 55 MB over 5.5 GB/s crossed twice (src NIC + dst NIC) ~ 0.02 s
+    assert env.now == pytest.approx(0.02, rel=0.05)
+
+
+def test_recv_any_source():
+    env, comm = make_comm(3)
+    got = []
+
+    def sender(rank, payload):
+        yield from rank.send(0, payload=payload)
+
+    def receiver(rank):
+        for _ in range(2):
+            msg = yield from rank.recv(src=ANY_SOURCE)
+            got.append(msg.payload)
+
+    env.process(receiver(comm.rank(0)))
+    env.process(sender(comm.rank(1), "a"))
+    env.process(sender(comm.rank(2), "b"))
+    env.run()
+    assert sorted(got) == ["a", "b"]
+
+
+def test_recv_filters_by_tag():
+    env, comm = make_comm(2)
+    order = []
+
+    def sender(rank):
+        yield from rank.send(1, payload="first", tag=1)
+        yield from rank.send(1, payload="second", tag=2)
+
+    def receiver(rank):
+        msg = yield from rank.recv(tag=2)
+        order.append(msg.payload)
+        msg = yield from rank.recv(tag=1)
+        order.append(msg.payload)
+
+    env.process(sender(comm.rank(0)))
+    env.process(receiver(comm.rank(1)))
+    env.run()
+    assert order == ["second", "first"]
+
+
+def test_barrier_synchronizes():
+    env, comm = make_comm(3)
+    times = []
+
+    def proc(rank, delay):
+        yield rank.env.timeout(delay)
+        yield from rank.barrier()
+        times.append(env.now)
+
+    for i, delay in enumerate([1, 5, 3]):
+        env.process(proc(comm.rank(i), delay))
+    env.run()
+    assert times == [5, 5, 5]
+
+
+def test_barrier_reusable_across_generations():
+    env, comm = make_comm(2)
+    times = []
+
+    def proc(rank, delay):
+        yield rank.env.timeout(delay)
+        yield from rank.barrier()
+        times.append(("b1", env.now))
+        yield rank.env.timeout(delay)
+        yield from rank.barrier()
+        times.append(("b2", env.now))
+
+    env.process(proc(comm.rank(0), 1))
+    env.process(proc(comm.rank(1), 2))
+    env.run()
+    assert [t for t in times if t[0] == "b1"] == [("b1", 2), ("b1", 2)]
+    assert [t for t in times if t[0] == "b2"] == [("b2", 4), ("b2", 4)]
+
+
+def test_bcast_delivers_to_all():
+    env, comm = make_comm(4)
+    got = []
+
+    def proc(rank):
+        value = yield from rank.bcast("hello" if rank.index == 0 else None, nbytes=8)
+        got.append((rank.index, value))
+
+    for r in comm.ranks():
+        env.process(proc(r))
+    env.run()
+    assert sorted(got) == [(i, "hello") for i in range(4)]
+
+
+def test_gather_collects_in_rank_order():
+    env, comm = make_comm(4)
+    result = []
+
+    def proc(rank):
+        values = yield from rank.gather(rank.index * 10)
+        if rank.index == 0:
+            result.append(values)
+
+    for r in comm.ranks():
+        env.process(proc(r))
+    env.run()
+    assert result == [[0, 10, 20, 30]]
+
+
+def test_allreduce_sum_on_all_ranks():
+    env, comm = make_comm(4)
+    results = []
+
+    def proc(rank):
+        total = yield from rank.allreduce(rank.index + 1)
+        results.append(total)
+
+    for r in comm.ranks():
+        env.process(proc(r))
+    env.run()
+    assert results == [10, 10, 10, 10]
+
+
+def test_allreduce_custom_op():
+    env, comm = make_comm(3)
+    results = []
+
+    def proc(rank):
+        top = yield from rank.allreduce(rank.index, op=max)
+        results.append(top)
+
+    for r in comm.ranks():
+        env.process(proc(r))
+    env.run()
+    assert results == [2, 2, 2]
+
+
+def test_compute_scales_with_machine():
+    from repro.hpc import CORI
+
+    env, comm = make_comm(1, machine=CORI, ranks_per_node=1)
+
+    def proc(rank):
+        yield rank.compute(10.0)
+
+    env.process(proc(comm.rank(0)))
+    env.run()
+    assert env.now == pytest.approx(10.0 / CORI.relative_core_speed)
+
+
+def test_rank_memory_rolls_up_to_node():
+    env, comm = make_comm(2, ranks_per_node=2)
+    r0, r1 = comm.rank(0), comm.rank(1)
+    r0.memory.allocate(3 * MB, "calculation")
+    r1.memory.allocate(4 * MB, "calculation")
+    assert r0.node is r1.node
+    assert r0.node.memory.total == 7 * MB

@@ -1,0 +1,95 @@
+"""Unit tests for the MPI-IO file layer."""
+
+import pytest
+
+from repro.hpc import Cluster, MB, TITAN
+from repro.mpi import Communicator
+from repro.mpi.io import MpiFile, MpiFileError
+from repro.sim import Environment
+
+
+def make(nranks=4):
+    env = Environment()
+    cluster = Cluster(env, TITAN)
+    nodes = [cluster.node(i) for i in range(nranks)]
+    comm = Communicator(cluster, nodes, name="io")
+    return env, cluster, comm
+
+
+def run_all(env, comm, body):
+    procs = [env.process(body(comm.rank(i))) for i in range(comm.size)]
+
+    def main(env):
+        yield env.all_of(procs)
+
+    done = env.process(main(env))
+    env.run(until=done)
+
+
+class TestMpiFile:
+    def test_collective_open_write_close(self):
+        env, cluster, comm = make(4)
+        f = MpiFile(comm, cluster.lustre, "/scratch/out.bp")
+
+        def body(rank):
+            yield from f.open(rank)
+            yield from f.write_at(rank, rank.index * MB, 1 * MB)
+            yield from f.close(rank)
+
+        run_all(env, comm, body)
+        assert f.closed
+        assert cluster.lustre.bytes_written == 4 * MB
+        assert cluster.lustre.files_created == 1
+
+    def test_write_before_open_rejected(self):
+        env, cluster, comm = make(2)
+        f = MpiFile(comm, cluster.lustre, "/x")
+        gen = f.write_at(comm.rank(0), 0, 10)
+        with pytest.raises(MpiFileError):
+            next(gen)
+
+    def test_write_after_close_rejected(self):
+        env, cluster, comm = make(2)
+        f = MpiFile(comm, cluster.lustre, "/x")
+
+        def body(rank):
+            yield from f.open(rank)
+            yield from f.close(rank)
+
+        run_all(env, comm, body)
+        with pytest.raises(MpiFileError):
+            next(f.write_at(comm.rank(0), 0, 10))
+
+    def test_open_charges_one_mds_op_per_rank(self):
+        env, cluster, comm = make(4)
+        f = MpiFile(comm, cluster.lustre, "/x")
+
+        def body(rank):
+            yield from f.open(rank)
+
+        run_all(env, comm, body)
+        # 4 opens + 1 create, serialized through 4 MDS: >= 2 op times.
+        assert env.now >= 2 * cluster.lustre.spec.mds_op_time - 1e-9
+
+    def test_collective_write_moves_all_bytes(self):
+        env, cluster, comm = make(4)
+        f = MpiFile(comm, cluster.lustre, "/x")
+
+        def body(rank):
+            yield from f.open(rank)
+            yield from f.write_at_all(rank, 0, 2 * MB)
+            yield from f.close(rank)
+
+        run_all(env, comm, body)
+        assert cluster.lustre.bytes_written == 8 * MB
+
+    def test_read_at(self):
+        env, cluster, comm = make(2)
+        f = MpiFile(comm, cluster.lustre, "/x")
+
+        def body(rank):
+            yield from f.open(rank)
+            yield from f.read_at(rank, 0, 3 * MB)
+
+        run_all(env, comm, body)
+        assert cluster.lustre.bytes_read == 6 * MB

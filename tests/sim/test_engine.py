@@ -1,0 +1,286 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Environment, Event, Interrupt
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(3.5)
+        seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [3.5]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_run_until_time_stops_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(100)
+
+    env.process(proc(env))
+    env.run(until=10)
+    assert env.now == 10
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.run(until=5)
+    with pytest.raises(ValueError):
+        env.run(until=1)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+    assert env.now == 2
+
+
+def test_processes_interleave_deterministically():
+    env = Environment()
+    trace = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        trace.append((env.now, name))
+        yield env.timeout(delay)
+        trace.append((env.now, name))
+
+    env.process(proc(env, "a", 1))
+    env.process(proc(env, "b", 2))
+    env.run()
+    # At t=2 both b's first and a's second timeout fire; b's was
+    # scheduled earlier (t=0 vs t=1) so it runs first.
+    assert trace == [(1, "a"), (2, "b"), (2, "a"), (4, "b")]
+
+
+def test_tie_break_is_fifo():
+    env = Environment()
+    trace = []
+
+    def proc(env, name):
+        yield env.timeout(1)
+        trace.append(name)
+
+    for name in ("x", "y", "z"):
+        env.process(proc(env, name))
+    env.run()
+    assert trace == ["x", "y", "z"]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter(env):
+        value = yield ev
+        got.append(value)
+
+    def firer(env):
+        yield env.timeout(4)
+        ev.succeed(42)
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert got == [42]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def firer(env):
+        yield env.timeout(1)
+        ev.fail(ValueError("boom"))
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_surfaces_from_run():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise RuntimeError("kaput")
+
+    env.process(bad(env))
+    with pytest.raises(RuntimeError, match="kaput"):
+        env.run()
+
+
+def test_process_return_value_via_yield():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(1)
+        return 7
+
+    def parent(env):
+        value = yield env.process(child(env))
+        results.append(value)
+
+    env.process(parent(env))
+    env.run()
+    assert results == [7]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    done_at = []
+
+    def proc(env):
+        t1 = env.timeout(1, value="one")
+        t2 = env.timeout(5, value="five")
+        result = yield env.all_of([t1, t2])
+        done_at.append(env.now)
+        assert set(result.values()) == {"one", "five"}
+
+    env.process(proc(env))
+    env.run()
+    assert done_at == [5]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    done_at = []
+
+    def proc(env):
+        yield env.any_of([env.timeout(1), env.timeout(5)])
+        done_at.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done_at == [1]
+
+
+def test_and_or_operators():
+    env = Environment()
+    marks = []
+
+    def proc(env):
+        yield env.timeout(1) & env.timeout(2)
+        marks.append(env.now)
+        yield env.timeout(1) | env.timeout(9)
+        marks.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert marks == [2, 3]
+
+
+def test_interrupt_reaches_process():
+    env = Environment()
+    caught = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as exc:
+            caught.append((env.now, exc.cause))
+
+    def attacker(env, victim_proc):
+        yield env.timeout(3)
+        victim_proc.interrupt("stop")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert caught == [(3, "stop")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_run_until_event_deadlock_detected():
+    env = Environment()
+    ev = env.event()  # nobody ever triggers this
+    with pytest.raises(RuntimeError, match="deadlock"):
+        env.run(until=ev)
+
+
+def test_peek_empty_queue_is_infinity():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_immediate_event_chain_runs_same_timestep():
+    env = Environment()
+    trace = []
+
+    def proc(env):
+        for _ in range(5):
+            yield env.timeout(0)
+        trace.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert trace == [0.0]

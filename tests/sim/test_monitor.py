@@ -1,0 +1,79 @@
+"""Unit tests for the TimeSeries monitor."""
+
+import pytest
+
+from repro.sim import TimeSeries
+
+
+def test_empty_series_defaults():
+    ts = TimeSeries("mem")
+    assert len(ts) == 0
+    assert ts.peak() == 0.0
+    assert ts.last() == 0.0
+    assert ts.value_at(100) == 0.0
+    assert ts.time_average() == 0.0
+    assert ts.resample(1.0) == []
+
+
+def test_record_and_query():
+    ts = TimeSeries()
+    ts.record(0, 10)
+    ts.record(5, 30)
+    ts.record(10, 20)
+    assert ts.peak() == 30
+    assert ts.last() == 20
+    assert ts.value_at(0) == 10
+    assert ts.value_at(4.9) == 10
+    assert ts.value_at(5) == 30
+    assert ts.value_at(7) == 30
+    assert ts.value_at(11) == 20
+
+
+def test_value_before_first_sample_is_zero():
+    ts = TimeSeries()
+    ts.record(5, 42)
+    assert ts.value_at(4.99) == 0.0
+
+
+def test_out_of_order_record_rejected():
+    ts = TimeSeries()
+    ts.record(5, 1)
+    with pytest.raises(ValueError):
+        ts.record(4, 2)
+
+
+def test_equal_time_records_allowed():
+    ts = TimeSeries()
+    ts.record(5, 1)
+    ts.record(5, 2)
+    assert ts.value_at(5) == 2
+
+
+def test_time_average_step_semantics():
+    ts = TimeSeries()
+    ts.record(0, 10)
+    ts.record(5, 20)  # 10 for [0,5), 20 for [5,10)
+    assert ts.time_average(0, 10) == pytest.approx(15.0)
+
+
+def test_time_average_partial_window():
+    ts = TimeSeries()
+    ts.record(0, 10)
+    ts.record(4, 30)
+    # window [2, 6): 10 for [2,4), 30 for [4,6) -> 20
+    assert ts.time_average(2, 6) == pytest.approx(20.0)
+
+
+def test_resample_interval():
+    ts = TimeSeries()
+    ts.record(0, 1)
+    ts.record(2, 3)
+    samples = ts.resample(1.0)
+    assert samples == [(0.0, 1.0), (1.0, 1.0), (2.0, 3.0)]
+
+
+def test_resample_requires_positive_interval():
+    ts = TimeSeries()
+    ts.record(0, 1)
+    with pytest.raises(ValueError):
+        ts.resample(0)

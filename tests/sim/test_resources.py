@@ -1,0 +1,250 @@
+"""Unit tests for Resource, Container and Store."""
+
+import pytest
+
+from repro.sim import Container, ContainerError, Environment, Resource, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grant_within_capacity_is_immediate(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        grants = []
+
+        def proc(env):
+            req = res.request()
+            yield req
+            grants.append(env.now)
+
+        env.process(proc(env))
+        env.process(proc(env))
+        env.run()
+        assert grants == [0, 0]
+        assert res.count == 2
+
+    def test_queueing_and_fifo_release(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        trace = []
+
+        def proc(env, name, hold):
+            with res.request() as req:
+                yield req
+                trace.append(("got", name, env.now))
+                yield env.timeout(hold)
+
+        env.process(proc(env, "a", 2))
+        env.process(proc(env, "b", 2))
+        env.process(proc(env, "c", 2))
+        env.run()
+        assert trace == [("got", "a", 0), ("got", "b", 2), ("got", "c", 4)]
+
+    def test_queue_length_reporting(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def waiter(env):
+            with res.request() as req:
+                yield req
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.run(until=1)
+        assert res.queue_length == 1
+
+    def test_release_unqueued_request_is_noop(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        req = res.request()
+        res.release(req)
+        res.release(req)  # double release must not corrupt state
+        assert res.count == 0
+
+
+class TestContainer:
+    def test_invalid_construction(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Container(env, capacity=-1)
+        with pytest.raises(ValueError):
+            Container(env, capacity=5, init=6)
+
+    def test_try_get_success_and_failure(self):
+        env = Environment()
+        c = Container(env, capacity=100, init=50)
+        assert c.try_get(30)
+        assert c.level == 20
+        assert not c.try_get(30)
+        assert c.level == 20
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        c = Container(env, capacity=100, init=0)
+        got_at = []
+
+        def getter(env):
+            yield c.get(40)
+            got_at.append(env.now)
+
+        def putter(env):
+            yield env.timeout(5)
+            c.put(40)
+
+        env.process(getter(env))
+        env.process(putter(env))
+        env.run()
+        assert got_at == [5]
+        assert c.level == 0
+
+    def test_get_more_than_capacity_rejected(self):
+        env = Environment()
+        c = Container(env, capacity=10)
+        with pytest.raises(ContainerError):
+            c.get(11)
+
+    def test_put_over_capacity_rejected(self):
+        env = Environment()
+        c = Container(env, capacity=10, init=5)
+        with pytest.raises(ContainerError):
+            c.put(6)
+
+    def test_fifo_ordering_prevents_starvation(self):
+        env = Environment()
+        c = Container(env, capacity=100, init=0)
+        order = []
+
+        def getter(env, name, amount):
+            yield c.get(amount)
+            order.append(name)
+
+        env.process(getter(env, "big", 80))
+        env.process(getter(env, "small", 10))
+
+        def putter(env):
+            yield env.timeout(1)
+            c.put(50)  # enough for small, but big is first in line
+            yield env.timeout(1)
+            c.put(50)
+
+        env.process(putter(env))
+        env.run()
+        assert order == ["big", "small"]
+
+    def test_negative_amounts_rejected(self):
+        env = Environment()
+        c = Container(env, capacity=10, init=10)
+        with pytest.raises(ContainerError):
+            c.get(-1)
+        with pytest.raises(ContainerError):
+            c.put(-1)
+        with pytest.raises(ContainerError):
+            c.try_get(-1)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def proc(env):
+            yield store.put("hello")
+            item = yield store.get()
+            got.append(item)
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["hello"]
+
+    def test_get_blocks_until_item_arrives(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def putter(env):
+            yield env.timeout(7)
+            yield store.put("late")
+
+        env.process(getter(env))
+        env.process(putter(env))
+        env.run()
+        assert got == [(7, "late")]
+
+    def test_bounded_store_blocks_putter(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def putter(env):
+            yield store.put(1)
+            times.append(("put1", env.now))
+            yield store.put(2)
+            times.append(("put2", env.now))
+
+        def getter(env):
+            yield env.timeout(5)
+            yield store.get()
+
+        env.process(putter(env))
+        env.process(getter(env))
+        env.run()
+        assert times == [("put1", 0), ("put2", 5)]
+
+    def test_get_with_predicate_filters(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def proc(env):
+            yield store.put({"tag": "a", "v": 1})
+            yield store.put({"tag": "b", "v": 2})
+            item = yield store.get(lambda m: m["tag"] == "b")
+            got.append(item["v"])
+            item = yield store.get()
+            got.append(item["v"])
+
+        env.process(proc(env))
+        env.run()
+        assert got == [2, 1]
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def proc(env):
+            for i in range(4):
+                yield store.put(i)
+            for _ in range(4):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(proc(env))
+        env.run()
+        assert got == [0, 1, 2, 3]
+
+    def test_items_snapshot(self):
+        env = Environment()
+        store = Store(env)
+
+        def proc(env):
+            yield store.put("x")
+            yield store.put("y")
+
+        env.process(proc(env))
+        env.run()
+        assert store.items == ["x", "y"]

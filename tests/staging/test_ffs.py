@@ -1,0 +1,87 @@
+"""Unit and property tests for the FFS self-describing serializer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.staging import ffs
+from repro.staging.ffs import FfsError, decode, encode, encoded_size
+
+
+def test_roundtrip_single_field():
+    record = {"positions": np.arange(12, dtype=np.float64).reshape(3, 4)}
+    out = decode(encode(record))
+    np.testing.assert_array_equal(out["positions"], record["positions"])
+
+
+def test_roundtrip_multiple_fields_and_dtypes():
+    record = {
+        "x": np.random.default_rng(0).random(7),
+        "ids": np.arange(7, dtype=np.int64),
+        "flags": np.array([0, 1, 1], dtype=np.uint8),
+        "f32": np.float32([[1.5, 2.5]]),
+    }
+    out = decode(encode(record))
+    assert set(out) == set(record)
+    for name in record:
+        np.testing.assert_array_equal(out[name], record[name])
+        assert out[name].dtype == record[name].dtype
+
+
+def test_self_describing_no_external_schema():
+    buffer = encode({"field": np.zeros((2, 3, 4))})
+    out = decode(buffer)
+    assert out["field"].shape == (2, 3, 4)
+
+
+def test_encoded_size_matches_actual():
+    record = {"a": np.zeros((5, 5)), "bb": np.arange(3, dtype=np.int32)}
+    assert encoded_size(record) == len(encode(record))
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(FfsError):
+        decode(b"XXXX" + b"\x00" * 16)
+
+
+def test_truncated_payload_rejected():
+    buffer = encode({"a": np.zeros(10)})
+    with pytest.raises(FfsError):
+        decode(buffer[:-8])
+
+
+def test_unsupported_dtype_rejected():
+    with pytest.raises(FfsError):
+        encode({"s": np.array(["a", "b"])})
+
+
+def test_non_contiguous_input_handled():
+    base = np.arange(24, dtype=np.float64).reshape(4, 6)
+    view = base[:, ::2]  # non-contiguous
+    out = decode(encode({"v": view}))
+    np.testing.assert_array_equal(out["v"], view)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+            st.integers(1, 5),
+            st.integers(1, 5),
+        ),
+        min_size=1,
+        max_size=4,
+        unique_by=lambda t: t[0],
+    ),
+    st.randoms(),
+)
+@settings(max_examples=50)
+def test_property_roundtrip(fields, rnd):
+    rng = np.random.default_rng(rnd.randint(0, 2**31))
+    record = {
+        name: rng.random((rows, cols)) for name, rows, cols in fields
+    }
+    out = decode(encode(record))
+    assert set(out) == set(record)
+    for name in record:
+        np.testing.assert_array_equal(out[name], record[name])

@@ -1,0 +1,128 @@
+"""Unit and property tests for regions and variables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hpc import DimensionOverflow
+from repro.staging.ndarray import Region, Variable, longest_dimension
+
+
+class TestRegion:
+    def test_shape_and_elements(self):
+        r = Region((0, 2), (5, 10))
+        assert r.ndim == 2
+        assert r.shape == (5, 8)
+        assert r.num_elements == 40
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Region((0,), (0, 1))
+        with pytest.raises(ValueError):
+            Region((5,), (3,))
+        with pytest.raises(ValueError):
+            Region((-1,), (3,))
+        with pytest.raises(ValueError):
+            Region((), ())
+
+    def test_intersect_overlapping(self):
+        a = Region((0, 0), (10, 10))
+        b = Region((5, 5), (15, 15))
+        assert a.intersect(b) == Region((5, 5), (10, 10))
+
+    def test_intersect_disjoint_is_none(self):
+        a = Region((0,), (5,))
+        b = Region((5,), (10,))
+        assert a.intersect(b) is None
+
+    def test_intersect_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            Region((0,), (5,)).intersect(Region((0, 0), (5, 5)))
+
+    def test_contains(self):
+        outer = Region((0, 0), (10, 10))
+        assert outer.contains(Region((2, 3), (4, 5)))
+        assert outer.contains(outer)
+        assert not outer.contains(Region((2, 3), (4, 11)))
+
+    def test_translate(self):
+        r = Region((1, 1), (3, 3)).translate((10, 20))
+        assert r == Region((11, 21), (13, 23))
+
+    def test_local_slices(self):
+        within = Region((10, 0), (20, 8))
+        inner = Region((12, 2), (15, 6))
+        assert inner.local_slices(within) == (slice(2, 5), slice(2, 6))
+
+    def test_local_slices_requires_containment(self):
+        with pytest.raises(ValueError):
+            Region((0,), (5,)).local_slices(Region((1,), (4,)))
+
+    def test_whole(self):
+        assert Region.whole((3, 4)) == Region((0, 0), (3, 4))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(1, 20)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_intersect_commutative(self, spans):
+        lb = tuple(s[0] for s in spans)
+        ub = tuple(s[0] + s[1] for s in spans)
+        a = Region(lb, ub)
+        b = Region(tuple(x + 3 for x in lb), tuple(x + 3 for x in ub))
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(st.integers(1, 30), st.integers(1, 30), st.integers(0, 30))
+    def test_intersection_never_larger(self, ext_a, ext_b, offset):
+        a = Region((0,), (ext_a,))
+        b = Region((offset,), (offset + ext_b,))
+        overlap = a.intersect(b)
+        if overlap is not None:
+            assert overlap.num_elements <= min(a.num_elements, b.num_elements)
+            assert a.contains(overlap)
+            assert b.contains(overlap)
+
+
+class TestVariable:
+    def test_nbytes_matches_table2_lammps(self):
+        # LAMMPS output: 5 x nprocs x 512000 doubles.
+        var = Variable("atoms", (5, 32, 512000))
+        assert var.nbytes == 5 * 32 * 512000 * 8
+
+    def test_region_bytes(self):
+        var = Variable("field", (10, 10), elem_size=4)
+        assert var.region_bytes(Region((0, 0), (2, 5))) == 40
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Variable("x", ())
+        with pytest.raises(ValueError):
+            Variable("x", (0, 5))
+        with pytest.raises(ValueError):
+            Variable("x", (5,), elem_size=0)
+
+    def test_dim_overflow_32bit(self):
+        var = Variable("big", (2**33, 4))
+        with pytest.raises(DimensionOverflow):
+            var.check_dims(dim_bits=32)
+
+    def test_dim_ok_64bit(self):
+        var = Variable("big", (2**33, 4))
+        var.check_dims(dim_bits=64)  # no raise
+
+    def test_dim_bits_validated(self):
+        var = Variable("x", (4,))
+        with pytest.raises(ValueError):
+            var.check_dims(dim_bits=16)
+
+    def test_bounds(self):
+        var = Variable("x", (3, 4))
+        assert var.bounds == Region((0, 0), (3, 4))
+
+
+def test_longest_dimension():
+    assert longest_dimension((5, 32, 512000)) == 2
+    assert longest_dimension((7, 7)) == 0
+    assert longest_dimension((1,)) == 0

@@ -1,0 +1,155 @@
+"""Unit and property tests for the Hilbert SFC index."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hpc import GB
+from repro.staging.ndarray import Region
+from repro.staging.sfc import (
+    SfcIndex,
+    hilbert_coords,
+    hilbert_index,
+    index_memory_bytes,
+    index_space_bits,
+    index_space_cells,
+    index_space_extent,
+)
+
+
+class TestHilbertCurve:
+    def test_2d_order1_visits_all_cells(self):
+        visited = {hilbert_index((x, y), 1) for x in range(2) for y in range(2)}
+        assert visited == {0, 1, 2, 3}
+
+    def test_2d_order2_is_bijective(self):
+        seen = {}
+        for x in range(4):
+            for y in range(4):
+                h = hilbert_index((x, y), 2)
+                assert h not in seen
+                seen[h] = (x, y)
+        assert sorted(seen) == list(range(16))
+
+    def test_roundtrip_2d(self):
+        for x in range(8):
+            for y in range(8):
+                h = hilbert_index((x, y), 3)
+                assert hilbert_coords(h, 2, 3) == (x, y)
+
+    def test_adjacency_2d(self):
+        """Consecutive curve positions are grid neighbors (the locality
+        property that makes SFC useful for spatial indexing)."""
+        coords = [hilbert_coords(h, 2, 3) for h in range(64)]
+        for a, b in zip(coords, coords[1:]):
+            manhattan = abs(a[0] - b[0]) + abs(a[1] - b[1])
+            assert manhattan == 1
+
+    def test_3d_roundtrip(self):
+        for x in range(4):
+            for y in range(4):
+                for z in range(4):
+                    h = hilbert_index((x, y, z), 2)
+                    assert hilbert_coords(h, 3, 2) == (x, y, z)
+
+    def test_out_of_range_coordinate(self):
+        with pytest.raises(ValueError):
+            hilbert_index((4, 0), 2)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ValueError):
+            hilbert_coords(16, 2, 2)
+
+    @given(
+        st.integers(1, 5),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_property_roundtrip(self, bits, data):
+        ndim = data.draw(st.integers(1, 4))
+        coords = tuple(
+            data.draw(st.integers(0, (1 << bits) - 1)) for _ in range(ndim)
+        )
+        h = hilbert_index(coords, bits)
+        assert 0 <= h < (1 << (bits * ndim))
+        assert hilbert_coords(h, ndim, bits) == coords
+
+    @given(st.integers(2, 4))
+    @settings(max_examples=10)
+    def test_property_adjacency(self, bits):
+        coords = [hilbert_coords(h, 2, bits) for h in range(1 << (2 * bits))]
+        for a, b in zip(coords, coords[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+
+class TestIndexSpace:
+    def test_bits_strictly_greater(self):
+        # Paper: 2^k strictly greater than the longest dimension, so a
+        # 4096 x 131072 domain pads to 262144 x 262144.
+        assert index_space_extent((4096, 131072)) == 262144
+
+    def test_bits_power_of_two_input(self):
+        assert index_space_extent((1024,)) == 2048
+
+    def test_cells(self):
+        assert index_space_cells((4, 4)) == 64  # padded to 8 x 8
+
+    def test_paper_fig6_magnitude(self):
+        """The 64-processor Laplace case: ~GBs of index per server."""
+        dims = (4096, 64 * 2048)
+        per_server = index_memory_bytes(dims, num_servers=4)
+        assert 3 * GB < per_server < 8 * GB
+
+    def test_index_memory_quadratic_in_2d(self):
+        small = index_memory_bytes((256, 256), 4)
+        # Doubling the domain side once the padding threshold is crossed
+        # quadruples the cells.
+        big = index_memory_bytes((512, 512), 4)
+        assert big == pytest.approx(4 * small)
+
+    def test_more_servers_never_costs_more_per_server(self):
+        dims = (1024, 65536)
+        costs = [index_memory_bytes(dims, n) for n in (1, 2, 4, 8, 16)]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+        # Enough servers shrink the padded subdomain and the cost drops.
+        assert costs[-1] < costs[0]
+
+    def test_invalid_server_count(self):
+        with pytest.raises(ValueError):
+            index_memory_bytes((4,), 0)
+
+
+class TestSfcIndex:
+    def test_server_assignment_in_range(self):
+        index = SfcIndex((100, 100), num_servers=4)
+        for x in range(0, 100, 7):
+            for y in range(0, 100, 7):
+                assert 0 <= index.server_of((x, y)) < 4
+
+    def test_all_servers_used(self):
+        index = SfcIndex((64, 64), num_servers=4)
+        used = {
+            index.server_of((x, y))
+            for x in range(0, 64, 4)
+            for y in range(0, 64, 4)
+        }
+        assert used == {0, 1, 2, 3}
+
+    def test_whole_domain_region_touches_all_servers(self):
+        index = SfcIndex((64, 64), num_servers=4)
+        servers = index.servers_for_region(Region((0, 0), (64, 64)))
+        assert servers == [0, 1, 2, 3]
+
+    def test_small_region_touches_few_servers(self):
+        index = SfcIndex((64, 64), num_servers=16)
+        servers = index.servers_for_region(Region((0, 0), (4, 4)))
+        assert len(servers) <= 2  # SFC locality keeps it small
+
+    def test_memory_bytes_delegates_to_model(self):
+        index = SfcIndex((1024, 1024), num_servers=4)
+        assert index.memory_bytes == index_memory_bytes((1024, 1024), 4)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SfcIndex((4,), 0)
+        with pytest.raises(ValueError):
+            SfcIndex((4,), 2, buckets_per_dim=0)

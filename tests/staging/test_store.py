@@ -1,0 +1,159 @@
+"""Unit tests for FragmentStore and VersionGate."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.staging import FragmentStore, Region, Variable, VersionGate
+
+
+class TestFragmentStore:
+    def make(self):
+        return FragmentStore(), Variable("v", (4, 8))
+
+    def test_put_and_bytes(self):
+        store, var = self.make()
+        store.put(var, 0, Region((0, 0), (4, 4)))
+        assert store.bytes_stored(var, 0) == 4 * 4 * 8
+
+    def test_coverage_detection(self):
+        store, var = self.make()
+        store.put(var, 0, Region((0, 0), (4, 4)))
+        assert not store.covered(var, 0, var.bounds)
+        store.put(var, 0, Region((0, 4), (4, 8)))
+        assert store.covered(var, 0, var.bounds)
+
+    def test_assemble_roundtrip(self):
+        store, var = self.make()
+        data = np.arange(32, dtype=float).reshape(4, 8)
+        store.put(var, 0, Region((0, 0), (4, 4)), data[:, :4])
+        store.put(var, 0, Region((0, 4), (4, 8)), data[:, 4:])
+        out = store.assemble(var, 0, Region((1, 2), (3, 6)))
+        np.testing.assert_array_equal(out, data[1:3, 2:6])
+
+    def test_assemble_uncovered_raises(self):
+        store, var = self.make()
+        store.put(var, 0, Region((0, 0), (4, 4)))
+        with pytest.raises(KeyError):
+            store.assemble(var, 0, var.bounds)
+
+    def test_assemble_sizes_only_returns_none(self):
+        store, var = self.make()
+        store.put(var, 0, var.bounds, None)
+        assert store.assemble(var, 0, var.bounds) is None
+
+    def test_data_shape_validated(self):
+        store, var = self.make()
+        with pytest.raises(ValueError):
+            store.put(var, 0, Region((0, 0), (2, 2)), np.zeros((3, 3)))
+
+    def test_evict_releases_bytes(self):
+        store, var = self.make()
+        store.put(var, 0, var.bounds)
+        released = store.evict(var, 0)
+        assert released == var.nbytes
+        assert store.bytes_stored(var, 0) == 0
+        assert store.evict(var, 0) == 0
+
+    def test_versions_listed(self):
+        store, var = self.make()
+        store.put(var, 2, var.bounds)
+        store.put(var, 0, var.bounds)
+        assert store.versions(var) == [0, 2]
+
+
+class TestVersionGate:
+    def test_invalid_construction(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            VersionGate(env, 1, 1, window=0)
+        with pytest.raises(ValueError):
+            VersionGate(env, 0, 1)
+
+    def test_reader_waits_for_all_writers(self):
+        env = Environment()
+        gate = VersionGate(env, num_writers=2, num_readers=1)
+        read_at = []
+
+        def writer(env, delay):
+            yield env.timeout(delay)
+            gate.publish(0)
+
+        def reader(env):
+            yield from gate.reader_wait(0)
+            read_at.append(env.now)
+            gate.reader_done(0)
+
+        env.process(writer(env, 1))
+        env.process(writer(env, 5))
+        env.process(reader(env))
+        env.run()
+        assert read_at == [5]
+
+    def test_window_blocks_writer(self):
+        env = Environment()
+        gate = VersionGate(env, num_writers=1, num_readers=1, window=1)
+        trace = []
+
+        def writer(env):
+            for v in range(3):
+                yield from gate.writer_acquire(v)
+                trace.append(("w", v, env.now))
+                gate.publish(v)
+
+        def reader(env):
+            for v in range(3):
+                yield from gate.reader_wait(v)
+                yield env.timeout(10)
+                gate.reader_done(v)
+                trace.append(("r", v, env.now))
+
+        env.process(writer(env))
+        env.process(reader(env))
+        env.run()
+        writes = [(v, t) for kind, v, t in trace if kind == "w"]
+        # v0 writes immediately; v1 must wait until v0 consumed (t=10);
+        # v2 until v1 consumed (t=20).
+        assert writes == [(0, 0), (1, 10), (2, 20)]
+
+    def test_larger_window_decouples(self):
+        env = Environment()
+        gate = VersionGate(env, num_writers=1, num_readers=1, window=3)
+        writes = []
+
+        def writer(env):
+            for v in range(3):
+                yield from gate.writer_acquire(v)
+                writes.append((v, env.now))
+                gate.publish(v)
+
+        def reader(env):
+            for v in range(3):
+                yield from gate.reader_wait(v)
+                yield env.timeout(10)
+                gate.reader_done(v)
+
+        env.process(writer(env))
+        env.process(reader(env))
+        env.run()
+        assert writes == [(0, 0), (1, 0), (2, 0)]
+
+    def test_consumed_tracks_slowest_reader(self):
+        env = Environment()
+        gate = VersionGate(env, num_writers=1, num_readers=2)
+
+        def writer(env):
+            yield from gate.writer_acquire(0)
+            gate.publish(0)
+
+        def reader(env, delay):
+            yield from gate.reader_wait(0)
+            yield env.timeout(delay)
+            gate.reader_done(0)
+
+        env.process(writer(env))
+        env.process(reader(env, 1))
+        env.process(reader(env, 7))
+        env.run()
+        assert gate.consumed == 0
+        assert env.now == 7

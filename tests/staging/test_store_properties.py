@@ -1,0 +1,134 @@
+"""Property-based tests for VersionGate schedules and FragmentStore.
+
+Hypothesis generates arbitrary interleavings of writer/reader progress
+and random region tilings; the invariants under test are the ones every
+staging library relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Environment
+from repro.staging import FragmentStore, Region, Variable, VersionGate
+
+
+class TestVersionGateProperties:
+    @given(
+        num_writers=st.integers(1, 4),
+        num_readers=st.integers(1, 4),
+        window=st.integers(1, 3),
+        steps=st.integers(1, 6),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_deadlock_and_window_respected(
+        self, num_writers, num_readers, window, steps, seed
+    ):
+        """Any writer/reader timing: the run completes and no version is
+        ever staged more than `window` ahead of consumption."""
+        env = Environment()
+        gate = VersionGate(env, num_writers, num_readers, window)
+        rng = np.random.default_rng(seed)
+        write_times = []
+
+        def writer(env, delays):
+            for v in range(steps):
+                yield env.timeout(delays[v])
+                yield from gate.writer_acquire(v)
+                # The window invariant at the moment of acquisition:
+                assert v <= gate.consumed + window
+                write_times.append((v, env.now))
+                gate.publish(v)
+
+        def reader(env, delays):
+            for v in range(steps):
+                yield from gate.reader_wait(v)
+                yield env.timeout(delays[v])
+                gate.reader_done(v)
+
+        for _ in range(num_writers):
+            env.process(writer(env, rng.random(steps) * 3))
+        for _ in range(num_readers):
+            env.process(reader(env, rng.random(steps) * 3))
+        env.run()
+        # Every version was written by every writer.
+        assert len(write_times) == steps * num_writers
+        assert gate.consumed == steps - 1
+
+    @given(
+        window=st.integers(1, 4),
+        steps=st.integers(2, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_versions_consumed_in_order(self, window, steps):
+        env = Environment()
+        gate = VersionGate(env, 1, 1, window)
+        consumed_order = []
+
+        def writer(env):
+            for v in range(steps):
+                yield from gate.writer_acquire(v)
+                gate.publish(v)
+
+        def reader(env):
+            for v in range(steps):
+                yield from gate.reader_wait(v)
+                yield env.timeout(1)
+                gate.reader_done(v)
+                consumed_order.append(v)
+
+        env.process(writer(env))
+        env.process(reader(env))
+        env.run()
+        assert consumed_order == list(range(steps))
+
+
+class TestFragmentStoreProperties:
+    @given(
+        rows=st.integers(2, 12),
+        cols=st.integers(2, 12),
+        splits=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_tiling_reassembles_exactly(self, rows, cols, splits, seed):
+        """Staging a variable as arbitrary row-slabs always reassembles
+        into the original array, for any requested sub-region."""
+        rng = np.random.default_rng(seed)
+        var = Variable("v", (rows, cols))
+        data = rng.random((rows, cols))
+        store = FragmentStore()
+
+        # Random contiguous row tiling.
+        cuts = sorted(set([0, rows] + list(rng.integers(1, rows, size=splits))))
+        for lo, hi in zip(cuts, cuts[1:]):
+            region = Region((lo, 0), (hi, cols))
+            store.put(var, 0, region, data[lo:hi, :])
+
+        assert store.covered(var, 0, var.bounds)
+        # A random query region.
+        r0 = int(rng.integers(0, rows - 1))
+        r1 = int(rng.integers(r0 + 1, rows))
+        c0 = int(rng.integers(0, cols - 1))
+        c1 = int(rng.integers(c0 + 1, cols))
+        query = Region((r0, c0), (r1, c1))
+        out = store.assemble(var, 0, query)
+        np.testing.assert_array_equal(out, data[r0:r1, c0:c1])
+
+    @given(
+        rows=st.integers(2, 10),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_eviction_returns_exact_bytes(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        var = Variable("v", (rows, 4))
+        store = FragmentStore()
+        total = 0
+        for version in range(3):
+            store.put(var, version, var.bounds)
+            total += var.nbytes
+        released = sum(store.evict(var, v) for v in range(3))
+        assert released == total
+        assert store.versions(var) == []

@@ -1,0 +1,322 @@
+"""Unit tests for the transport layer."""
+
+import pytest
+
+from repro.hpc import (
+    CORI,
+    Cluster,
+    DrcOverload,
+    MB,
+    OutOfRdmaMemory,
+    OutOfSockets,
+    TITAN,
+    TransportError,
+)
+from repro.sim import Environment
+from repro.transport import (
+    Endpoint,
+    MpiMsgTransport,
+    RdmaTransport,
+    ShmTransport,
+    TcpTransport,
+    make_transport,
+)
+
+
+def setup_cluster(machine=TITAN):
+    env = Environment()
+    cluster = Cluster(env, machine)
+    return env, cluster
+
+
+def endpoints(cluster, src_node=0, dst_node=1, job="job"):
+    return (
+        Endpoint(cluster.node(src_node), "client", job),
+        Endpoint(cluster.node(dst_node), "server", job),
+    )
+
+
+def run_move(env, transport, src, dst, nbytes, **kwargs):
+    def proc(env):
+        yield env.process(transport.move(src, dst, nbytes, **kwargs))
+
+    env.process(proc(env))
+    env.run()
+
+
+class TestFactory:
+    def test_known_names(self):
+        env, cluster = setup_cluster()
+        assert isinstance(make_transport("ugni", cluster), RdmaTransport)
+        assert isinstance(make_transport("nnti", cluster), RdmaTransport)
+        assert isinstance(make_transport("TCP", cluster), TcpTransport)
+        assert isinstance(make_transport("shm", cluster), ShmTransport)
+        assert isinstance(make_transport("mpi", cluster), MpiMsgTransport)
+
+    def test_unknown_name(self):
+        env, cluster = setup_cluster()
+        with pytest.raises(ValueError):
+            make_transport("carrier-pigeon", cluster)
+
+    def test_unknown_rdma_api(self):
+        env, cluster = setup_cluster()
+        with pytest.raises(ValueError):
+            RdmaTransport(cluster, api="quantum")
+
+
+class TestRdmaTransport:
+    def test_move_pays_time_and_accounts(self):
+        env, cluster = setup_cluster()
+        t = RdmaTransport(cluster, "ugni")
+        src, dst = endpoints(cluster)
+        run_move(env, t, src, dst, 55 * MB)
+        assert t.bytes_moved == 55 * MB
+        assert t.operations == 1
+        assert env.now == pytest.approx(0.02, rel=0.05)
+
+    def test_transient_registration_released(self):
+        env, cluster = setup_cluster()
+        t = RdmaTransport(cluster, "ugni")
+        src, dst = endpoints(cluster)
+        run_move(env, t, src, dst, 10 * MB)
+        assert src.node.rdma.registered == 0
+        assert dst.node.rdma.registered == 0
+
+    def test_registration_failure_propagates_and_cleans_up(self):
+        env, cluster = setup_cluster()
+        t = RdmaTransport(cluster, "ugni")
+        src, dst = endpoints(cluster)
+        # Pre-claim almost all RDMA memory on the destination.
+        dst.node.rdma.register(1800 * MB)
+
+        def proc(env):
+            yield env.process(t.move(src, dst, 100 * MB))
+
+        env.process(proc(env))
+        with pytest.raises(OutOfRdmaMemory):
+            env.run()
+        # The source's transient registration must have been rolled back.
+        assert src.node.rdma.registered == 0
+
+    def test_registered_buffers_skip_transient_registration(self):
+        env, cluster = setup_cluster()
+        t = RdmaTransport(cluster, "ugni")
+        src, dst = endpoints(cluster)
+        dst.node.rdma.register(1800 * MB)  # nearly full
+        # dst_registered=True promises a resident buffer; no new claim.
+        run_move(env, t, src, dst, 100 * MB, dst_registered=True)
+        assert t.operations == 1
+
+    def test_nnti_slower_than_ugni(self):
+        env1, c1 = setup_cluster()
+        ugni = RdmaTransport(c1, "ugni")
+        run_move(env1, ugni, *endpoints(c1), 100 * MB)
+        env2, c2 = setup_cluster()
+        nnti = RdmaTransport(c2, "nnti")
+        run_move(env2, nnti, *endpoints(c2), 100 * MB)
+        assert env2.now > env1.now
+
+    def test_drc_credential_acquired_once_per_node_on_cori(self):
+        env, cluster = setup_cluster(CORI)
+        t = RdmaTransport(cluster, "ugni")
+        src, dst = endpoints(cluster)
+
+        def proc(env):
+            yield env.process(t.move(src, dst, 1 * MB))
+            yield env.process(t.move(src, dst, 1 * MB))
+
+        env.process(proc(env))
+        env.run()
+        assert cluster.drc.requests_served == 2  # two nodes, once each
+
+    def test_no_drc_on_titan(self):
+        env, cluster = setup_cluster(TITAN)
+        t = RdmaTransport(cluster, "ugni")
+        run_move(env, t, *endpoints(cluster), 1 * MB)
+        assert cluster.drc is None
+
+    def test_drc_overload_propagates(self):
+        env, cluster = setup_cluster(CORI)
+        cluster.drc.max_pending = 1
+        t = RdmaTransport(cluster, "ugni")
+
+        def proc(env, i):
+            src = Endpoint(cluster.node(2 * i), f"c{i}", f"job{i}")
+            dst = Endpoint(cluster.node(2 * i + 1), f"s{i}", f"job{i}")
+            yield env.process(t.move(src, dst, 1 * MB))
+
+        for i in range(3):
+            env.process(proc(env, i))
+        with pytest.raises(DrcOverload):
+            env.run()
+
+    def test_teardown_releases_credentials(self):
+        env, cluster = setup_cluster(CORI)
+        t = RdmaTransport(cluster, "ugni")
+        src, dst = endpoints(cluster)
+        run_move(env, t, src, dst, 1 * MB)
+        t.teardown(src, dst)
+        assert cluster.drc._node_jobs[src.node.node_id] == set()
+
+
+class TestTcpTransport:
+    def test_connection_reused_across_moves(self):
+        env, cluster = setup_cluster()
+        t = TcpTransport(cluster)
+        src, dst = endpoints(cluster)
+
+        def proc(env):
+            yield env.process(t.move(src, dst, 1 * MB))
+            yield env.process(t.move(src, dst, 1 * MB))
+
+        env.process(proc(env))
+        env.run()
+        assert t.open_connections == 1
+        assert src.node.socket_table("client").in_use == 1
+
+    def test_slower_than_rdma(self):
+        env1, c1 = setup_cluster()
+        run_move(env1, RdmaTransport(c1, "ugni"), *endpoints(c1), 100 * MB)
+        env2, c2 = setup_cluster()
+        run_move(env2, TcpTransport(c2), *endpoints(c2), 100 * MB)
+        assert env2.now > env1.now * 1.2
+
+    def test_descriptor_exhaustion(self):
+        env, cluster = setup_cluster()
+        t = TcpTransport(cluster)
+        server = Endpoint(cluster.node(0), "server")
+        server.node.socket_table("server").max_descriptors = 3
+
+        def proc(env, i):
+            client = Endpoint(cluster.node(1 + i), f"client{i}")
+            yield env.process(t.move(client, server, 1 * MB))
+
+        for i in range(4):
+            env.process(proc(env, i))
+        with pytest.raises(OutOfSockets):
+            env.run()
+
+    def test_teardown_closes_connection(self):
+        env, cluster = setup_cluster()
+        t = TcpTransport(cluster)
+        src, dst = endpoints(cluster)
+        run_move(env, t, src, dst, 1 * MB)
+        t.teardown(src, dst)
+        assert t.open_connections == 0
+        assert src.node.socket_table("client").in_use == 0
+
+    def test_no_rdma_consumed(self):
+        env, cluster = setup_cluster()
+        t = TcpTransport(cluster)
+        src, dst = endpoints(cluster)
+        run_move(env, t, src, dst, 10 * MB)
+        assert src.node.rdma.registered == 0
+
+
+class TestShmTransport:
+    def test_intra_node_copy(self):
+        env, cluster = setup_cluster()
+        t = ShmTransport(cluster)
+        node = cluster.node(0)
+        src = Endpoint(node, "sim")
+        dst = Endpoint(node, "analytics")
+        run_move(env, t, src, dst, 100 * MB)
+        assert t.bytes_moved == 100 * MB
+
+    def test_faster_than_network(self):
+        env1, c1 = setup_cluster()
+        t1 = ShmTransport(c1)
+        node = c1.node(0)
+        run_move(env1, t1, Endpoint(node, "a"), Endpoint(node, "b"), 100 * MB)
+        env2, c2 = setup_cluster()
+        run_move(env2, RdmaTransport(c2, "ugni"), *endpoints(c2), 100 * MB)
+        assert env1.now < env2.now
+
+    def test_cross_node_rejected(self):
+        env, cluster = setup_cluster()
+        t = ShmTransport(cluster)
+        src, dst = endpoints(cluster)
+
+        def proc(env):
+            yield env.process(t.move(src, dst, 1))
+
+        env.process(proc(env))
+        with pytest.raises(TransportError):
+            env.run()
+
+
+class TestMpiMsgTransport:
+    def test_move_accounts(self):
+        env, cluster = setup_cluster()
+        t = MpiMsgTransport(cluster)
+        run_move(env, t, *endpoints(cluster), 10 * MB)
+        assert t.bytes_moved == 10 * MB
+
+    def test_portability_no_special_resources(self):
+        env, cluster = setup_cluster()
+        t = MpiMsgTransport(cluster)
+        src, dst = endpoints(cluster)
+        run_move(env, t, src, dst, 10 * MB)
+        assert src.node.rdma.registered == 0
+        assert src.node.socket_table("client").in_use == 0
+
+
+class TestTcpPool:
+    """Table IV's socket-pool resolve as a transport option."""
+
+    def test_factory_name(self):
+        env, cluster = setup_cluster()
+        t = make_transport("tcp-pool", cluster)
+        assert isinstance(t, TcpTransport)
+        assert t.pool_size == 64
+
+    def test_invalid_pool_size(self):
+        env, cluster = setup_cluster()
+        with pytest.raises(ValueError):
+            TcpTransport(cluster, pool_size=0)
+
+    def test_pool_caps_descriptors(self):
+        env, cluster = setup_cluster()
+        t = TcpTransport(cluster, pool_size=2)
+        server = Endpoint(cluster.node(0), "server")
+
+        def proc(env, i):
+            client = Endpoint(cluster.node(1 + i), f"client{i}")
+            yield env.process(t.move(client, server, 1 * MB))
+
+        for i in range(6):
+            env.process(proc(env, i))
+        env.run()
+        # Only pool_size descriptors ever open at the server.
+        assert server.node.socket_table("server").peak <= 2
+        assert t.multiplexed_moves > 0
+
+    def test_multiplexing_costs_latency(self):
+        env1, c1 = setup_cluster()
+        plain = TcpTransport(c1)
+        server1 = Endpoint(c1.node(0), "server")
+
+        def moves(env, t, server, cluster):
+            for i in range(6):
+                client = Endpoint(cluster.node(1 + i), f"client{i}")
+                yield env.process(t.move(client, server, 1024))
+
+        env1.process(moves(env1, plain, server1, c1))
+        env1.run()
+        env2, c2 = setup_cluster()
+        pooled = TcpTransport(c2, pool_size=1)
+        server2 = Endpoint(c2.node(0), "server")
+        env2.process(moves(env2, pooled, server2, c2))
+        env2.run()
+        assert env2.now > env1.now  # the efficiency compromise
+
+    def test_pooled_workflow_survives_big_scale(self):
+        from repro.workflows import run_coupled
+
+        plain = run_coupled("titan", "lammps", "dataspaces",
+                            nsim=2048, nana=1024, steps=1, transport="tcp")
+        pooled = run_coupled("titan", "lammps", "dataspaces",
+                             nsim=2048, nana=1024, steps=1,
+                             transport="tcp-pool")
+        assert not plain.ok and "OutOfSockets" in plain.failure
+        assert pooled.ok

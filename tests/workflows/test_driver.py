@@ -1,0 +1,165 @@
+"""Unit/integration tests for the coupled-workflow driver."""
+
+import math
+
+import pytest
+
+from repro.hpc import MB
+from repro.workflows import (
+    APP_INIT_SECONDS,
+    LAMMPS,
+    LAPLACE,
+    get_workflow,
+    lammps_variable,
+    laplace_variable,
+    run_coupled,
+    synthetic_variable,
+)
+
+
+class TestCatalog:
+    def test_lammps_variable_matches_table2(self):
+        var = lammps_variable(32)
+        assert var.dims == (5, 32, 512000)
+        assert var.nbytes / 32 == pytest.approx(20.48 * 1e6, rel=0.02)  # ~20 MB
+
+    def test_laplace_variable_default_128mb(self):
+        var = laplace_variable(64)
+        assert var.nbytes / 64 == 128 * MB
+
+    def test_laplace_variable_size_sweep(self):
+        var = laplace_variable(64, bytes_per_proc=512 * 1024)
+        assert var.nbytes / 64 == 512 * 1024
+
+    def test_synthetic_layouts(self):
+        mism = synthetic_variable(16, axis_layout="mismatched")
+        match = synthetic_variable(16, axis_layout="matched")
+        # Mismatched: longest dim is the third, processors scale dim 2.
+        assert mism.dims[2] > mism.dims[1]
+        # Matched: the third (longest) dimension scales with nprocs.
+        assert match.dims[2] == max(match.dims)
+        with pytest.raises(ValueError):
+            synthetic_variable(16, axis_layout="diagonal")
+
+    def test_get_workflow(self):
+        assert get_workflow("lammps") is LAMMPS
+        assert get_workflow("LAPLACE") is LAPLACE
+        with pytest.raises(KeyError):
+            get_workflow("gromacs")
+
+
+class TestComputeOnlyBaseline:
+    def test_sim_only_time_is_compute_plus_init(self):
+        r = run_coupled("titan", "lammps", method=None, nsim=32, nana=16, steps=5)
+        assert r.ok
+        # 5 s init + 5 steps x 20 s sim; analytics (6 s/step) finishes earlier.
+        assert r.end_to_end == pytest.approx(APP_INIT_SECONDS + 5 * 20.0)
+
+    def test_cori_scales_by_core_speed(self):
+        titan = run_coupled("titan", "lammps", None, nsim=32, nana=16, steps=5)
+        cori = run_coupled("cori", "lammps", None, nsim=32, nana=16, steps=5)
+        ratio = (cori.end_to_end - APP_INIT_SECONDS) / (
+            titan.end_to_end - APP_INIT_SECONDS
+        )
+        assert ratio == pytest.approx(2.2 / 1.4, rel=0.01)
+
+    def test_weak_scaling_flat_without_io(self):
+        small = run_coupled("titan", "lammps", None, nsim=32, nana=16)
+        large = run_coupled("titan", "lammps", None, nsim=4096, nana=2048)
+        assert large.end_to_end == pytest.approx(small.end_to_end)
+
+
+class TestCoupledRuns:
+    @pytest.mark.parametrize("method", ["flexpath", "dataspaces", "dimes",
+                                        "decaf", "mpiio"])
+    def test_all_methods_complete_small_scale(self, method):
+        r = run_coupled("titan", "lammps", method, nsim=32, nana=16, steps=3)
+        assert r.ok, r.failure
+        assert r.end_to_end > APP_INIT_SECONDS
+        assert r.bytes_staged > 0
+        assert r.sim_finish <= r.end_to_end + 1e-9
+        assert not math.isnan(r.ana_finish)
+
+    def test_staging_adds_time_over_baseline(self):
+        base = run_coupled("titan", "lammps", None, nsim=32, nana=16)
+        staged = run_coupled("titan", "lammps", "flexpath", nsim=32, nana=16)
+        assert staged.end_to_end > base.end_to_end
+
+    def test_memory_timelines_recorded(self):
+        r = run_coupled("titan", "lammps", "dataspaces", nsim=32, nana=16, steps=2)
+        assert r.sim_memory is not None
+        assert r.sim_memory.peak() > 173 * MB  # calc + library overhead
+        assert r.server_memory is not None
+        assert r.server_memory_peaks
+        assert "index" in r.server_memory_breakdown
+
+    def test_lammps_client_memory_matches_fig5(self):
+        """~400 MB per LAMMPS processor: 173 calc + ~227 library."""
+        r = run_coupled("titan", "lammps", "dataspaces", nsim=32, nana=16, steps=2)
+        assert r.sim_memory.peak() == pytest.approx(400 * MB, rel=0.15)
+
+    def test_decaf_client_memory_40pct_higher(self):
+        ds = run_coupled("titan", "lammps", "dataspaces", nsim=32, nana=16, steps=2)
+        decaf = run_coupled("titan", "lammps", "decaf", nsim=32, nana=16, steps=2)
+        ratio = decaf.sim_memory.peak() / ds.sim_memory.peak()
+        assert ratio == pytest.approx(1.4, abs=0.1)
+
+    def test_failure_captured_not_raised(self):
+        r = run_coupled("titan", "lammps", "dataspaces", nsim=8192, nana=4096)
+        assert not r.ok
+        assert "OutOfRdmaHandlers" in r.failure
+        assert "FAILED" in r.summary()
+
+    def test_result_summary_format(self):
+        r = run_coupled("titan", "lammps", "flexpath", nsim=32, nana=16, steps=2)
+        text = r.summary()
+        assert "flexpath" in text
+        assert "Titan" in text
+
+
+class TestShapeProperties:
+    def test_mpiio_grows_with_scale_in_memory_does_not(self):
+        """The Figure 2 headline: MPI-IO end-to-end grows ~linearly."""
+        mpiio = [
+            run_coupled("titan", "lammps", "mpiio", nsim=n, nana=n // 2).end_to_end
+            for n in (32, 2048, 8192)
+        ]
+        flex = [
+            run_coupled("titan", "lammps", "flexpath", nsim=n, nana=n // 2).end_to_end
+            for n in (32, 2048, 8192)
+        ]
+        assert mpiio[2] > mpiio[1] > mpiio[0]
+        # MPI-IO grows faster and ends up the slowest method at scale.
+        assert (mpiio[2] - mpiio[0]) > (flex[2] - flex[0])
+        assert mpiio[2] > flex[2]
+        # Flexpath grows by roughly the paper's ~60 %, not linearly.
+        assert flex[2] / flex[0] < 1.8
+
+    def test_dataspaces_n_to_1_penalty_on_titan(self):
+        """Finding 1/3: LAMMPS + DataSpaces degrades with scale on Titan."""
+        small = run_coupled("titan", "lammps", "dataspaces", nsim=32, nana=16)
+        large = run_coupled("titan", "lammps", "dataspaces", nsim=4096, nana=2048)
+        assert large.end_to_end > 1.4 * small.end_to_end
+
+    def test_dataspaces_penalty_attenuated_on_cori(self):
+        """Higher Aries throughput dampens the N-to-1 overhead."""
+        titan = run_coupled("titan", "lammps", "dataspaces", nsim=4096, nana=2048)
+        cori = run_coupled("cori", "lammps", "dataspaces", nsim=4096, nana=2048)
+        titan_small = run_coupled("titan", "lammps", "dataspaces", nsim=32, nana=16)
+        cori_small = run_coupled("cori", "lammps", "dataspaces", nsim=32, nana=16)
+        titan_ratio = titan.end_to_end / titan_small.end_to_end
+        cori_ratio = cori.end_to_end / cori_small.end_to_end
+        assert cori_ratio < titan_ratio
+
+    def test_dimes_immune_to_layout_mismatch(self):
+        """Table V: Finding 3 does not apply to DIMES."""
+        small = run_coupled("titan", "lammps", "dimes", nsim=32, nana=16)
+        large = run_coupled("titan", "lammps", "dimes", nsim=4096, nana=2048)
+        assert large.end_to_end < 1.15 * small.end_to_end
+
+    def test_both_workflows_fail_at_top_scale_on_cori(self):
+        """DRC overload at (8192, 4096) on Cori (Section III-B1)."""
+        for workflow in ("lammps", "laplace"):
+            r = run_coupled("cori", workflow, "dataspaces", nsim=8192, nana=4096)
+            assert not r.ok
+            assert "DrcOverload" in r.failure

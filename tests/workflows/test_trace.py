@@ -1,0 +1,77 @@
+"""Unit tests for activity tracing and the Gantt renderer."""
+
+import pytest
+
+from repro.workflows import ActivityTrace, Interval, run_coupled
+
+
+class TestActivityTrace:
+    def test_record_and_query(self):
+        trace = ActivityTrace()
+        trace.record("sim0", "compute", 0.0, 10.0)
+        trace.record("sim0", "put", 10.0, 12.0)
+        trace.record("ana0", "get", 10.0, 12.0)
+        assert trace.time_in("sim0", "compute") == 10.0
+        assert trace.time_in("sim0", "put") == 2.0
+        assert trace.end_time == 12.0
+        assert trace.actors() == ["sim0", "ana0"]
+
+    def test_invalid_activity(self):
+        trace = ActivityTrace()
+        with pytest.raises(ValueError):
+            trace.record("x", "sleep", 0, 1)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Interval("x", "compute", 5.0, 3.0)
+
+    def test_busy_fraction(self):
+        trace = ActivityTrace()
+        trace.record("sim0", "compute", 0.0, 5.0)
+        trace.record("sim0", "wait", 5.0, 10.0)
+        assert trace.busy_fraction("sim0") == pytest.approx(0.5)
+
+    def test_empty_trace(self):
+        trace = ActivityTrace()
+        assert trace.gantt() == "(empty trace)"
+        assert trace.busy_fraction("x") == 0.0
+
+    def test_gantt_structure(self):
+        trace = ActivityTrace()
+        trace.record("sim0", "compute", 0.0, 8.0)
+        trace.record("sim0", "put", 8.0, 10.0)
+        trace.record("ana0", "get", 8.0, 10.0)
+        chart = trace.gantt(width=40)
+        lines = chart.splitlines()
+        assert lines[0].startswith("sim0 |")
+        assert "#" in lines[0]
+        assert "P" in lines[0]
+        assert "G" in lines[1]
+        assert "legend:" in lines[-1]
+
+
+class TestDriverIntegration:
+    def test_trace_captures_workflow_phases(self):
+        trace = ActivityTrace()
+        result = run_coupled(
+            "titan", "lammps", "flexpath", nsim=16, nana=8, steps=2,
+            trace=trace,
+        )
+        assert result.ok
+        assert trace.time_in("sim0", "compute") > 0
+        assert trace.time_in("sim0", "put") > 0
+        assert trace.time_in("ana0", "get") > 0
+        assert trace.end_time <= result.end_to_end + 1e-9
+
+    def test_compute_time_matches_cost_model(self):
+        trace = ActivityTrace()
+        run_coupled(
+            "titan", "lammps", "flexpath", nsim=16, nana=8, steps=2,
+            trace=trace,
+        )
+        # 2 steps x 20 Titan-seconds each.
+        assert trace.time_in("sim0", "compute") == pytest.approx(40.0)
+
+    def test_no_trace_by_default(self):
+        result = run_coupled("titan", "lammps", None, nsim=16, nana=8, steps=1)
+        assert result.ok  # simply must not crash without a trace

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the study: per-figure seconds + event counts.
+
+Runs the paper's experiments and writes ``BENCH_study.json`` with, per
+figure, the wall-clock seconds and the number of discrete events the
+simulator processed — the two numbers the DES/clustering/caching
+optimizations move.  Modes:
+
+* ``--smoke``  — a small subset (CI-friendly, well under a minute);
+* default      — every study experiment at the small scales;
+* ``--full``   — Figure 2 at the paper's full processor range, the
+  acceptance metric of the performance work (seed: ~122 s).
+
+The run cache is cleared before every experiment so timings measure
+simulation, not memoization.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_study.py [--smoke|--full] [-o PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.core import figures, runcache
+from repro.core.study import Study
+from repro.sim.engine import Environment
+
+
+class EventCounter:
+    """Counts processed events by wrapping ``Environment.step``."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._orig: Callable = Environment.step
+
+    def __enter__(self) -> "EventCounter":
+        orig = self._orig
+
+        def counting_step(env) -> None:
+            self.count += 1
+            orig(env)
+
+        Environment.step = counting_step
+        return self
+
+    def __exit__(self, *exc) -> None:
+        Environment.step = self._orig
+
+
+def experiments(mode: str) -> Dict[str, Callable[[], object]]:
+    if mode == "smoke":
+        return {
+            "fig2a": lambda: figures.fig2_end_to_end("lammps"),
+            "fig6": figures.fig6_index_cost,
+        }
+    if mode == "full":
+        return {
+            "fig2a_full": lambda: figures.fig2_end_to_end("lammps", full=True),
+            "fig2b_full": lambda: figures.fig2_end_to_end("laplace", full=True),
+        }
+    study = Study()
+    return dict(study.experiments())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--smoke", action="store_true",
+                       help="small CI subset")
+    group.add_argument("--full", action="store_true",
+                       help="Figure 2 at the paper's full scales")
+    parser.add_argument("-o", "--output", default="BENCH_study.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else ("full" if args.full else "study")
+
+    report = {"schema": 1, "mode": mode, "figures": {}}
+    total = 0.0
+    for ident, runner in experiments(mode).items():
+        runcache.clear()
+        with EventCounter() as counter:
+            start = time.perf_counter()
+            runner()
+            elapsed = time.perf_counter() - start
+        total += elapsed
+        report["figures"][ident] = {
+            "seconds": round(elapsed, 3),
+            "events": counter.count,
+        }
+        print(f"{ident:12s} {elapsed:8.2f} s  {counter.count:>12,} events")
+    report["total_seconds"] = round(total, 3)
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\ntotal {total:.2f} s -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,9 @@
 
 Subcommands:
 
-* ``study [ids...] [--full] [--verify-findings] [--export DIR]`` —
-  rerun the paper's evaluation (default: every figure and table);
+* ``study [ids...] [--full] [--verify-findings] [--export DIR]
+  [--cache DIR]`` — rerun the paper's evaluation (default: every
+  figure and table);
 * ``list`` — list available experiment ids;
 * ``findings`` — verify the eight findings and print the outcome.
 """
@@ -38,8 +39,15 @@ def _cmd_findings() -> int:
     return 1 if failures else 0
 
 
-def _cmd_study(ids: List[str], full: bool, verify: bool, export: Optional[str]) -> int:
-    study = Study(full=full, verify_findings=verify)
+def _cmd_study(
+    ids: List[str], full: bool, verify: bool, export: Optional[str],
+    cache: Optional[str] = None,
+) -> int:
+    try:
+        study = Study(full=full, verify_findings=verify, cache_dir=cache)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     study.run(only=ids or None)
     print(study.report())
     if export:
@@ -66,6 +74,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="also run every finding's verifier in Table V")
     study_p.add_argument("--export", metavar="DIR",
                          help="write each table as CSV+JSON into DIR")
+    study_p.add_argument("--cache", metavar="DIR",
+                         help="persist run results under DIR and reuse "
+                              "them on later invocations")
 
     sub.add_parser("list", help="list experiment ids")
     sub.add_parser("findings", help="verify the eight findings")
@@ -76,7 +87,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "findings":
         return _cmd_findings()
     if args.command == "study":
-        return _cmd_study(args.ids, args.full, args.verify_findings, args.export)
+        return _cmd_study(args.ids, args.full, args.verify_findings,
+                          args.export, args.cache)
     parser.print_help()
     return 2
 

@@ -63,9 +63,7 @@ class AdiosFile:
         if self.mode != "w":
             raise AdiosError("write on a read-mode handle")
         library = self.adios.library_for(self.group, var_name)
-        yield self.adios.cluster.env.process(
-            library.put(self.actor, region, step, data=data)
-        )
+        yield from library.put(self.actor, region, step, data=data)
 
     def read(self, var_name: str, region: Region, step: int) -> Generator:
         """Process: adios_schedule_read + perform — returns (nbytes, data)."""
@@ -73,9 +71,7 @@ class AdiosFile:
         if self.mode != "r":
             raise AdiosError("read on a write-mode handle")
         library = self.adios.library_for(self.group, var_name)
-        result = yield self.adios.cluster.env.process(
-            library.get(self.actor, region, step)
-        )
+        result = yield from library.get(self.actor, region, step)
         return result
 
     def close(self) -> Generator:
@@ -158,7 +154,7 @@ class Adios:
     def bootstrap(self, group: str, var_name: str) -> Generator:
         """Process: bring up the staging method for ``group``."""
         library = self.library_for(group, var_name)
-        yield self.cluster.env.process(library.bootstrap())
+        yield from library.bootstrap()
 
     def open(self, group: str, mode: str, actor: int = 0) -> AdiosFile:
         """adios_open: a handle bound to one group and component rank."""

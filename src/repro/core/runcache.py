@@ -1,0 +1,130 @@
+"""Content-addressed cache for :func:`~repro.workflows.run_coupled`.
+
+A coupled run is a pure function of its configuration: the simulation
+is deterministic (time ties broken by event id), so two calls with the
+same machine, workflow, method, scale, variable and staging settings
+return bit-identical :class:`~repro.workflows.driver.RunResult` fields.
+Several experiments re-run overlapping configurations (fig2/fig3/fig5/
+fig7 and the findings verifiers); this cache makes each configuration
+pay once.
+
+The cache key is a sha256 over a canonical representation of every
+argument that feeds the simulation:
+
+* machine name, workflow name, method, ``nsim``/``nana``/``steps``,
+  transport, ``num_servers``, ``shared_nodes``;
+* the variable's name, dims and element size (the paper's weak-scaled
+  default or an explicit override);
+* per-step compute seconds, ``topology_overrides``, ``app_axis``;
+* every :class:`~repro.staging.base.StagingConfig` field.
+
+Deliberately **not** hashed: the ``trace`` argument — tracing mutates an
+external object per event, so traced runs bypass the cache entirely —
+and anything about the host (wall-clock, paths, library versions).
+
+Layers:
+
+* **in-process** — always on; maps key -> the RunResult object.
+  Callers treat results as read-only, so sharing is safe.
+* **on disk** — opt-in via :func:`enable_disk` (the ``--cache DIR``
+  flag of ``python -m repro study``); results are pickled without the
+  ``library`` field (a live library holds generators and simulation
+  state that neither pickle nor belong in a cache).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import os
+import pickle
+from typing import Any, Dict, Optional
+
+#: bump when simulation semantics change so stale disk entries miss
+SCHEMA_VERSION = 1
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce an argument to primitives with a stable repr."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return sorted((str(k), _canonical(v)) for k, v in value.items())
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return [type(value).__name__] + _canonical(dataclasses.asdict(value))
+    raise TypeError(f"cannot build a cache key from {value!r}")
+
+
+def config_key(**kwargs: Any) -> str:
+    """The content address of one ``run_coupled`` configuration."""
+    payload = repr((SCHEMA_VERSION, _canonical(kwargs)))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class RunCache:
+    """Two-layer (memory + optional disk) RunResult cache."""
+
+    def __init__(self, disk_dir: Optional[str] = None) -> None:
+        self._memory: Dict[str, Any] = {}
+        self.disk_dir = disk_dir
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.disk_dir, f"{key}.pkl")
+
+    def get(self, key: str) -> Optional[Any]:
+        result = self._memory.get(key)
+        if result is not None:
+            self.hits += 1
+            return result
+        if self.disk_dir is not None:
+            try:
+                with open(self._path(key), "rb") as fh:
+                    result = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                result = None
+            if result is not None:
+                self._memory[key] = result
+                self.hits += 1
+                return result
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: Any) -> None:
+        self._memory[key] = result
+        if self.disk_dir is not None:
+            stripped = copy.copy(result)
+            stripped.library = None
+            os.makedirs(self.disk_dir, exist_ok=True)
+            tmp = self._path(key) + ".tmp"
+            try:
+                with open(tmp, "wb") as fh:
+                    pickle.dump(stripped, fh)
+                os.replace(tmp, self._path(key))
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: the process-wide cache every run_coupled call consults
+CACHE = RunCache()
+
+
+def enable_disk(directory: str) -> None:
+    """Persist results under ``directory`` (and read back on misses)."""
+    if os.path.exists(directory) and not os.path.isdir(directory):
+        raise ValueError(f"cache path {directory!r} exists and is not a directory")
+    CACHE.disk_dir = directory
+
+
+def clear() -> None:
+    """Drop the in-process layer (disk entries are kept)."""
+    CACHE.clear()

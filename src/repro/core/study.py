@@ -10,7 +10,7 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict, List, Optional
 
-from . import figures
+from . import figures, runcache
 from .conclusions import conclusions
 from .configs import table1_build_configs, table2_workflows
 from .findings import table5_findings
@@ -23,10 +23,17 @@ from .usability import table3_usability
 class Study:
     """Reruns the paper's evaluation on the simulated substrate."""
 
-    def __init__(self, full: bool = False, verify_findings: bool = False) -> None:
+    def __init__(
+        self,
+        full: bool = False,
+        verify_findings: bool = False,
+        cache_dir: Optional[str] = None,
+    ) -> None:
         self.full = full
         self.verify_findings = verify_findings
         self.results: Dict[str, TableResult] = {}
+        if cache_dir:
+            runcache.enable_disk(cache_dir)
 
     def experiments(self) -> Dict[str, Callable[[], TableResult]]:
         """Experiment id -> runner, in paper order."""

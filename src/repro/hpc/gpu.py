@@ -60,12 +60,12 @@ class GpuDevice:
 
     def copy_to_host(self, nbytes: float) -> Generator:
         """Process: DMA device -> host over PCIe."""
-        yield self.env.process(self.pcie.transmit(nbytes))
+        yield from self.pcie.transmit(nbytes)
         self.d2h_bytes += nbytes
 
     def copy_to_device(self, nbytes: float) -> Generator:
         """Process: DMA host -> device over PCIe."""
-        yield self.env.process(self.pcie.transmit(nbytes))
+        yield from self.pcie.transmit(nbytes)
         self.h2d_bytes += nbytes
 
 
@@ -87,7 +87,7 @@ def stage_from_gpu(
     )
     try:
         yield from gpu.copy_to_host(library._wire_bytes(nbytes))
-        yield gpu.env.process(library.put(sim_actor, region, version))
+        yield from library.put(sim_actor, region, version)
     finally:
         gpu.node.memory.free(host_buffer)
 
@@ -108,4 +108,4 @@ def stage_from_gpu_direct(
     nbytes = library.variable.region_bytes(region)
     fabric_time = library._wire_bytes(nbytes) / fabric_bw
     yield gpu.env.timeout(fabric_time)
-    yield gpu.env.process(library.put(sim_actor, region, version))
+    yield from library.put(sim_actor, region, version)

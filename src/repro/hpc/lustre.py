@@ -79,34 +79,39 @@ class LustreFilesystem:
 
     def _stripe_transfers(self, handle: LustreFile, offset: int, nbytes: int):
         """Split a contiguous request into (ost, bytes) pieces."""
-        pieces = []
         stripe = handle.stripe_size
         pos = offset
         remaining = nbytes
+        # Group the request's pieces per OST (keeping first-touch
+        # order).  This is timing-exact, not an approximation: one
+        # request enqueues *all* its pieces on the FIFO OST pipes at the
+        # same instant, so its pieces occupy each OST back to back and
+        # one holder can serialize them without changing any grant
+        # order.  The pieces are kept separate (not summed) so the
+        # per-piece transfer times accumulate with the same
+        # floating-point additions as individually queued pieces.
+        grouped: dict = {}
         while remaining > 0:
             stripe_index = pos // stripe
             ost = (handle.first_ost + stripe_index % handle.stripe_count) % self.spec.num_osts
             in_stripe = stripe - (pos % stripe)
             chunk = min(remaining, in_stripe)
-            pieces.append((ost, chunk))
+            bucket = grouped.get(ost)
+            if bucket is None:
+                grouped[ost] = [chunk]
+            else:
+                bucket.append(chunk)
             pos += chunk
             remaining -= chunk
-        # Merge adjacent pieces landing on the same OST to bound event count.
-        merged = []
-        for ost, chunk in pieces:
-            if merged and merged[-1][0] == ost:
-                merged[-1] = (ost, merged[-1][1] + chunk)
-            else:
-                merged.append((ost, chunk))
-        return merged
+        return list(grouped.items())
 
     def write(self, handle: LustreFile, offset: int, nbytes: int) -> Generator:
         """Process: write ``nbytes`` at ``offset`` through the OST pipes."""
         if nbytes < 0:
             raise ValueError(f"negative write size {nbytes}")
         transfers = [
-            self.env.process(self._osts[ost].transmit(chunk))
-            for ost, chunk in self._stripe_transfers(handle, offset, nbytes)
+            self.env.process(self._osts[ost].transmit_many(chunks))
+            for ost, chunks in self._stripe_transfers(handle, offset, nbytes)
         ]
         if transfers:
             yield self.env.all_of(transfers)
@@ -117,8 +122,8 @@ class LustreFilesystem:
         if nbytes < 0:
             raise ValueError(f"negative read size {nbytes}")
         transfers = [
-            self.env.process(self._osts[ost].transmit(chunk))
-            for ost, chunk in self._stripe_transfers(handle, offset, nbytes)
+            self.env.process(self._osts[ost].transmit_many(chunks))
+            for ost, chunks in self._stripe_transfers(handle, offset, nbytes)
         ]
         if transfers:
             yield self.env.all_of(transfers)

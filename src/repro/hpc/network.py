@@ -48,6 +48,30 @@ class BandwidthPipe:
             self.bytes_moved += nbytes
             self.busy_time += duration
 
+    def transmit_many(self, chunks) -> Generator:
+        """Process: occupy the pipe for several transfers back to back.
+
+        Timing-identical to consecutive :meth:`transmit` calls enqueued
+        at one instant — the FIFO pipe serves them contiguously anyway —
+        but holds the pipe once and sleeps once: a burst of N chunks
+        costs a single absolute-time timeout instead of N full
+        request/grant/release cycles.  The end time accumulates chunk
+        by chunk with exactly the same floating-point additions as
+        separate calls, so the wake-up instant is bit-identical.
+        """
+        with self._res.request() as req:
+            yield req
+            # Accumulate the end time chunk by chunk — the same float
+            # additions a chain of timeout events would perform — then
+            # sleep once until that instant.
+            end = self.env.now
+            for nbytes in chunks:
+                duration = self.transfer_time(nbytes)
+                end += duration
+                self.bytes_moved += nbytes
+                self.busy_time += duration
+            yield self.env.timeout_at(end)
+
 
 class Link:
     """A point-to-point transfer path between two NIC pipes.
@@ -80,7 +104,7 @@ class Link:
         effective = nbytes * self.overhead_factor
         if self.src is self.dst:
             # Intra-node: only one pipe crossing (a local memory copy).
-            yield self.env.process(self.src.transmit(effective))
+            yield from self.src.transmit(effective)
             return
         yield self.env.timeout(self.latency)
         yield self.env.process(self.src.transmit(effective))

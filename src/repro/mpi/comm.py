@@ -111,7 +111,7 @@ class Rank:
         """Process: send ``nbytes`` to rank ``dst`` (pays network time)."""
         link = self.comm.cluster.link(self.node, self.comm.node_of(dst))
         if nbytes > 0:
-            yield self.env.process(link.send(nbytes))
+            yield from link.send(nbytes)
         else:
             yield self.env.timeout(link.latency)
         yield self.comm._mailboxes[dst].put(

@@ -56,8 +56,8 @@ class MpiFile:
             yield req
             yield env.timeout(self.fs.spec.mds_op_time)
         if rank.index == 0 and self._handle is None:
-            self._handle = yield env.process(
-                self.fs.open(self.path, self.stripe_count, self.stripe_size)
+            self._handle = yield from self.fs.open(
+                self.path, self.stripe_count, self.stripe_size
             )
         yield from rank.barrier()
         self._open_count += 1
@@ -74,7 +74,7 @@ class MpiFile:
     def write_at(self, rank: Rank, offset: int, nbytes: int) -> Generator:
         """Process: independent write at an explicit offset."""
         handle = self._require_open()
-        yield self.comm.env.process(self.fs.write(handle, offset, nbytes))
+        yield from self.fs.write(handle, offset, nbytes)
 
     def write_at_all(self, rank: Rank, offset: int, nbytes: int) -> Generator:
         """Process: collective write (two-phase I/O).
@@ -89,9 +89,7 @@ class MpiFile:
         if rank.index % max(1, self.comm.size // self._aggregators()) == 0:
             # This rank acts as an aggregator for its group.
             group = max(1, self.comm.size // self._aggregators())
-            yield env.process(
-                self.fs.write(handle, offset, nbytes * group)
-            )
+            yield from self.fs.write(handle, offset, nbytes * group)
         yield from rank.barrier()
 
     def _aggregators(self) -> int:
@@ -103,7 +101,7 @@ class MpiFile:
     def read_at(self, rank: Rank, offset: int, nbytes: int) -> Generator:
         """Process: independent read."""
         handle = self._require_open()
-        yield self.comm.env.process(self.fs.read(handle, offset, nbytes))
+        yield from self.fs.read(handle, offset, nbytes)
 
     # ------------------------------------------------------------- close
 

@@ -52,6 +52,21 @@ class Environment:
         """An event that triggers ``delay`` simulated seconds from now."""
         return Timeout(self, delay, value)
 
+    def timeout_at(self, when: float, value: Any = None) -> Event:
+        """An event that triggers at the absolute time ``when``.
+
+        Lets a hot path collapse a run of consecutive delays into one
+        event: the caller accumulates the end time with the same float
+        additions a timeout chain would perform, then schedules once.
+        """
+        if when < self._now:
+            raise ValueError(f"timeout_at({when}) is in the past (now={self._now})")
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        heapq.heappush(self._queue, (when, next(self._eid), event))
+        return event
+
     def event(self) -> Event:
         """A fresh, untriggered event."""
         return Event(self)
@@ -104,20 +119,30 @@ class Environment:
                 if until_time < self._now:
                     raise ValueError(f"until ({until_time}) is in the past")
 
-        while True:
-            if until_event is not None and until_event.processed:
-                if until_event.ok:
-                    return until_event.value
-                raise until_event.value
-            next_time = self.peek()
-            if next_time > until_time:
-                self._now = until_time
-                return None
-            if next_time is Infinity:
-                if until_event is not None:
+        queue = self._queue
+        step = self.step
+        if until_event is not None:
+            # Waiting on an event: run until it is processed or the
+            # schedule runs dry (events at time == inf never happen).
+            while until_event.callbacks is not None:
+                if not queue or queue[0][0] == Infinity:
                     raise RuntimeError(
                         "simulation ran out of events before the awaited "
                         "event triggered (deadlock?)"
                     )
+                step()
+            if until_event._ok:
+                return until_event._value
+            raise until_event._value
+
+        while queue:
+            next_time = queue[0][0]
+            if next_time > until_time:
+                self._now = until_time
                 return None
-            self.step()
+            if next_time == Infinity:
+                break
+            step()
+        if until_time != Infinity:
+            self._now = until_time
+        return None

@@ -23,6 +23,8 @@ class Event:
     callbacks run at the current simulation time.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment") -> None:  # noqa: F821
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -97,6 +99,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -113,6 +117,8 @@ class Timeout(Event):
 
 class Condition(Event):
     """Base for composite events over several sub-events."""
+
+    __slots__ = ("_events", "_count")
 
     def __init__(self, env: "Environment", events: List[Event]) -> None:  # noqa: F821
         super().__init__(env)
@@ -156,12 +162,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers once all sub-events have triggered."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._count == len(self._events)
 
 
 class AnyOf(Condition):
     """Triggers as soon as any sub-event has triggered."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return self._count >= 1

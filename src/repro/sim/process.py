@@ -19,6 +19,8 @@ from .events import Event, Interrupt
 class Process(Event):
     """A running simulation process; also awaitable as an event."""
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Environment", generator: Generator) -> None:  # noqa: F821
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
@@ -69,13 +71,14 @@ class Process(Event):
         self._step(event)
 
     def _step(self, event: Event) -> None:
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
                 self.succeed(getattr(stop, "value", None))
                 return

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Generator, List, Optional, Tuple
 
 import numpy as np
@@ -60,50 +61,86 @@ class Topology:
                self.servers_per_node, self.max_actor_nodes) < 1:
             raise ValueError(f"invalid per-node/actor settings in {self}")
 
-    @property
+    # All derived counts are cached: the topology is frozen, and these
+    # run inside per-transfer hot paths (e.g. ``_wire_bytes``).
+
+    @cached_property
     def sim_nodes(self) -> int:
         return -(-self.nsim // self.sim_ranks_per_node)
 
-    @property
+    @cached_property
     def ana_nodes(self) -> int:
         return -(-self.nana // self.ana_ranks_per_node)
 
-    @property
+    @cached_property
     def server_nodes(self) -> int:
         return -(-self.nservers // self.servers_per_node) if self.nservers else 0
 
-    @property
+    @cached_property
     def node_scale(self) -> int:
         """Real nodes represented by one actor (shared by components)."""
         widest = max(self.sim_nodes, self.ana_nodes, self.server_nodes)
         return max(1, -(-widest // self.max_actor_nodes))
 
-    @property
+    @cached_property
     def sim_actors(self) -> int:
         return max(1, -(-self.sim_nodes // self.node_scale))
 
-    @property
+    @cached_property
     def ana_actors(self) -> int:
         return max(1, -(-self.ana_nodes // self.node_scale))
 
-    @property
+    @cached_property
     def server_actors(self) -> int:
         if not self.nservers:
             return 0
         return max(1, -(-self.server_nodes // self.node_scale))
 
-    @property
+    @cached_property
     def sim_scale(self) -> float:
         """Real simulation processors represented by one actor."""
         return self.nsim / self.sim_actors
 
-    @property
+    @cached_property
     def ana_scale(self) -> float:
         return self.nana / self.ana_actors
 
-    @property
+    @cached_property
     def server_scale(self) -> float:
         return self.nservers / self.server_actors if self.nservers else 1.0
+
+
+@dataclass(frozen=True)
+class ClusterPlan:
+    """Representative-group description for the clustered fidelity mode.
+
+    The first ``sim_reps`` simulation actors, ``ana_reps`` analytics
+    actors and ``server_reps`` servers form one representative group;
+    the full run consists of ``groups`` identical, resource-disjoint
+    copies of it.  Simulating only the representative group and
+    replicating each statistics record ``groups`` times (in place, so
+    the floating-point additions happen in the exact run's order)
+    reproduces the exact run's numbers.
+
+    ``server_tiling`` says how per-server memory peaks extend to the
+    full server list: ``"group"`` repeats the ``server_reps`` peaks
+    ``groups`` times (each group's servers behave alike), ``"leader"``
+    repeats the *second* rep server for every non-first server (the
+    first put's global eviction makes server 0 the only one that ever
+    holds two versions at once).
+    """
+
+    sim_reps: int
+    ana_reps: int
+    server_reps: int
+    groups: int
+    server_tiling: str = "group"
+
+    def __post_init__(self) -> None:
+        if min(self.sim_reps, self.ana_reps) < 1 or self.server_reps < 0:
+            raise ValueError(f"invalid representative counts in {self}")
+        if self.server_tiling not in ("group", "leader"):
+            raise ValueError(f"invalid server_tiling {self.server_tiling!r}")
 
 
 @dataclass(frozen=True)
@@ -194,6 +231,14 @@ class StagingLibrary:
         self.stats = StagingStats()
         self.servers: List[ServerState] = []
         self.gate: Optional[VersionGate] = None
+        #: writer/reader counts the version gate coordinates; the
+        #: clustered fidelity mode overrides them to the
+        #: representative-group counts before bootstrap
+        self.active_writers: Optional[int] = None
+        self.active_readers: Optional[int] = None
+        #: how many exact-run actors each statistics record stands for
+        #: (the clustered fidelity mode sets this to the group count)
+        self.stats_replicas: int = 1
         self._sim_endpoints: Dict[int, Endpoint] = {}
         self._ana_endpoints: Dict[int, Endpoint] = {}
         self._client_trackers: Dict[Tuple[str, int], MemoryTracker] = {}
@@ -258,8 +303,8 @@ class StagingLibrary:
             self.variable.check_dims(self.config.dim_bits)
         self.gate = VersionGate(
             self.env,
-            num_writers=self.topology.sim_actors,
-            num_readers=self.topology.ana_actors,
+            num_writers=self.active_writers or self.topology.sim_actors,
+            num_readers=self.active_readers or self.topology.ana_actors,
             window=self._gate_window(),
         )
         self.validate_at_scale()
@@ -279,6 +324,35 @@ class StagingLibrary:
 
     def shutdown(self) -> None:
         """Release per-run transport state."""
+
+    # ------------------------------------------------------- clustering
+
+    def clustering_plan(
+        self, write_regions: List[Region], read_regions: List[Region]
+    ) -> Optional[ClusterPlan]:
+        """A representative-group plan, or None to run every actor.
+
+        Subclasses return a :class:`ClusterPlan` only when structural
+        checks *prove* the actors split into ``groups`` identical and
+        resource-disjoint chains, so simulating one group reproduces
+        the exact run bit for bit.  The default is conservative: no
+        analysis, no clustering.
+        """
+        return None
+
+    def _placed_nodes(self, component: str) -> List[int]:
+        """Node ids of a placed component, without booting the nodes."""
+        return [loc.node_id for loc in self.placement.locations(component)]
+
+    def _chain_hops(self, src_node_id: int, dst_node_id: int) -> int:
+        """Effective hop count a transfer between two nodes pays.
+
+        Mirrors :meth:`~repro.hpc.cluster.Cluster.link`: zero within a
+        node, otherwise the topology's hop count clamped to >= 1.
+        """
+        if src_node_id == dst_node_id:
+            return 0
+        return max(1, self.cluster.topology.hops(src_node_id, dst_node_id))
 
     # ------------------------------------------------------------- API
 
@@ -355,14 +429,20 @@ class StagingLibrary:
         return 0.0
 
     def _record_put(self, nbytes: float, elapsed: float) -> None:
-        self.stats.bytes_staged += nbytes
-        self.stats.put_time += elapsed
-        self.stats.puts += 1
+        # Replicated additions, not one multiplication: group-homologous
+        # actors record identical values back to back in the exact run,
+        # and only repeating the same float additions reproduces those
+        # sums bit for bit.
+        for _ in range(self.stats_replicas):
+            self.stats.bytes_staged += nbytes
+            self.stats.put_time += elapsed
+        self.stats.puts += self.stats_replicas
 
     def _record_get(self, nbytes: float, elapsed: float) -> None:
-        self.stats.bytes_retrieved += nbytes
-        self.stats.get_time += elapsed
-        self.stats.gets += 1
+        for _ in range(self.stats_replicas):
+            self.stats.bytes_retrieved += nbytes
+            self.stats.get_time += elapsed
+        self.stats.gets += self.stats_replicas
 
     def server_memory_peaks(self) -> List[int]:
         """Peak memory per staging server (bytes)."""

@@ -89,7 +89,11 @@ class DartInstance:
     # -------------------------------------------------------------- RPC
 
     def rpc(self, src: Endpoint, dst: Endpoint) -> Generator:
-        """Process: a small control round trip src -> dst -> src."""
+        """Process: a small control round trip src -> dst -> src.
+
+        The moves stay wrapped in processes: inlining them reorders
+        concurrent control messages racing for shared pipes.
+        """
         yield self.env.process(
             self.transport.move(
                 src, dst, self.CONTROL_BYTES,
@@ -109,11 +113,9 @@ class DartInstance:
     def bulk_put(self, client: Endpoint, server_id: int, nbytes: float) -> Generator:
         """Process: one-sided put of ``nbytes`` into a server."""
         entry = self.server(server_id)
-        yield self.env.process(
-            self.transport.move(
-                client, entry.endpoint, nbytes,
-                src_registered=True, dst_registered=True,
-            )
+        yield from self.transport.move(
+            client, entry.endpoint, nbytes,
+            src_registered=True, dst_registered=True,
         )
         self.bulk_ops += 1
         self.bulk_bytes += nbytes
@@ -121,22 +123,18 @@ class DartInstance:
     def bulk_get(self, client: Endpoint, server_id: int, nbytes: float) -> Generator:
         """Process: one-sided get of ``nbytes`` from a server."""
         entry = self.server(server_id)
-        yield self.env.process(
-            self.transport.move(
-                entry.endpoint, client, nbytes,
-                src_registered=True, dst_registered=True,
-            )
+        yield from self.transport.move(
+            entry.endpoint, client, nbytes,
+            src_registered=True, dst_registered=True,
         )
         self.bulk_ops += 1
         self.bulk_bytes += nbytes
 
     def peer_move(self, src: Endpoint, dst: Endpoint, nbytes: float) -> Generator:
         """Process: direct memory-to-memory transfer (the DIMES path)."""
-        yield self.env.process(
-            self.transport.move(
-                src, dst, nbytes,
-                src_registered=True, dst_registered=True,
-            )
+        yield from self.transport.move(
+            src, dst, nbytes,
+            src_registered=True, dst_registered=True,
         )
         self.bulk_ops += 1
         self.bulk_bytes += nbytes

@@ -208,7 +208,7 @@ class Dimes(StagingLibrary):
         # by the server).
         server_id = self._meta_server_of(version)
         yield from self.dart.rpc(client, self.servers[server_id].endpoint)
-        yield self.env.process(self._meta_work(self.topology.sim_scale))
+        yield from self._meta_work(self.topology.sim_scale)
 
         self._owners.setdefault(version, []).append((sim_actor, region))
         self.global_store.put(var, version, region, data)
@@ -238,7 +238,7 @@ class Dimes(StagingLibrary):
         client = self.ana_endpoint(ana_actor)
         server_id = self._meta_server_of(version)
         yield from self.dart.rpc(client, self.servers[server_id].endpoint)
-        yield self.env.process(self._meta_work(self.topology.ana_scale))
+        yield from self._meta_work(self.topology.ana_scale)
 
         # Direct memory-to-memory pulls from each owning producer.
         for producer_actor, owned in self._owners.get(version, []):

@@ -72,11 +72,9 @@ class Stone:
                 transport = self.manager.transport_for(
                     self.endpoint, target.endpoint
                 )
-                yield self.manager.env.process(
-                    transport.move(
-                        self.endpoint, target.endpoint, nbytes,
-                        src_registered=True, dst_registered=True,
-                    )
+                yield from transport.move(
+                    self.endpoint, target.endpoint, nbytes,
+                    src_registered=True, dst_registered=True,
                 )
             yield from target._deliver(event, nbytes)
 

@@ -179,11 +179,9 @@ class Flexpath(StagingLibrary):
             if overlap is None:
                 continue
             writer = self.sim_endpoint(writer_actor)
-            yield self.env.process(
-                self.transport.move(
-                    writer, client, self._wire_bytes(var.region_bytes(overlap)),
-                    src_registered=True, dst_registered=True,
-                )
+            yield from self.transport.move(
+                writer, client, self._wire_bytes(var.region_bytes(overlap)),
+                src_registered=True, dst_registered=True,
             )
 
         total = var.region_bytes(region)

@@ -62,17 +62,28 @@ class FragmentStore:
     def bytes_stored(self, var: Variable, version: int) -> int:
         return sum(f.nbytes for f in self.fragments(var, version))
 
-    def covered(self, var: Variable, version: int, region: Region) -> bool:
-        """Whether stored fragments fully cover ``region``."""
-        need = region.num_elements
-        have = 0
-        for frag in self.fragments(var, version):
+    def _overlaps(
+        self, var: Variable, version: int, region: Region
+    ) -> List[Tuple[Fragment, Region]]:
+        """Each stored fragment intersecting ``region``, with its overlap.
+
+        Computed in one pass over the fragment list (no copy) so that
+        ``covered`` + ``assemble`` callers intersect each fragment once
+        instead of twice per call.
+        """
+        out = []
+        for frag in self._frags.get((var.name, version), ()):
             overlap = frag.region.intersect(region)
             if overlap is not None:
-                have += overlap.num_elements
+                out.append((frag, overlap))
+        return out
+
+    def covered(self, var: Variable, version: int, region: Region) -> bool:
+        """Whether stored fragments fully cover ``region``."""
         # Fragments never overlap each other (disjoint writer regions),
         # so summed overlap equals coverage.
-        return have >= need
+        have = sum(o.num_elements for _, o in self._overlaps(var, version, region))
+        return have >= region.num_elements
 
     def assemble(
         self, var: Variable, version: int, region: Region
@@ -83,18 +94,16 @@ class FragmentStore:
         (performance-mode runs); raises KeyError when the region is not
         fully covered.
         """
-        if not self.covered(var, version, region):
+        overlaps = self._overlaps(var, version, region)
+        have = sum(o.num_elements for _, o in overlaps)
+        if have < region.num_elements:
             raise KeyError(
                 f"{var.name} v{version}: region {region} not fully staged"
             )
-        frags = self.fragments(var, version)
-        if any(f.data is None for f in frags):
+        if any(f.data is None for f, _ in overlaps):
             return None
         out = np.zeros(region.shape)
-        for frag in frags:
-            overlap = frag.region.intersect(region)
-            if overlap is None:
-                continue
+        for frag, overlap in overlaps:
             out[overlap.local_slices(region)] = frag.data[
                 overlap.local_slices(frag.region)
             ]

@@ -33,5 +33,5 @@ class MpiMsgTransport(Transport):
         link = self.cluster.link(
             src.node, dst.node, overhead_factor=self.overhead_factor
         )
-        yield self.env.process(link.send(nbytes))
+        yield from link.send(nbytes)
         self._account(nbytes)

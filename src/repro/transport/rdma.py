@@ -47,6 +47,9 @@ class RdmaTransport(Transport):
         key = (endpoint.job_id, endpoint.node.node_id)
         if key in self._credentials:
             return
+        # NOTE: must stay a wrapped process, not ``yield from``: inlining
+        # would reorder concurrent credential requests racing for the
+        # single DRC server and shift every Cori timing.
         credential = yield self.env.process(
             drc.acquire(endpoint.job_id, endpoint.node.node_id)
         )
@@ -80,7 +83,7 @@ class RdmaTransport(Transport):
             link = self.cluster.link(
                 src.node, dst.node, overhead_factor=self.overhead_factor
             )
-            yield self.env.process(link.send(nbytes))
+            yield from link.send(nbytes)
         finally:
             for handle in handles:
                 handle.pool.deregister(handle)

@@ -36,5 +36,5 @@ class ShmTransport(Transport):
                 f"({src!r} -> {dst!r})"
             )
         yield self.env.timeout(self.op_latency)
-        yield self.env.process(src.node.membus.transmit(nbytes))
+        yield from src.node.membus.transmit(nbytes)
         self._account(nbytes)

@@ -105,7 +105,7 @@ class TcpTransport(Transport):
         link = self.cluster.link(
             src.node, dst.node, overhead_factor=self.overhead_factor
         )
-        yield self.env.process(link.send(nbytes))
+        yield from link.send(nbytes)
         self._account(nbytes)
 
     def teardown(self, client: Endpoint, server: Endpoint) -> None:

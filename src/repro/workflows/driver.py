@@ -21,7 +21,7 @@ from ..hpc.failures import HpcError
 from ..hpc.machines import MachineSpec, get_machine
 from ..sim import Environment, TimeSeries
 from ..staging import calibration as cal
-from ..staging.base import StagingLibrary
+from ..staging.base import ClusterPlan, StagingLibrary
 from ..staging.decomposition import application_decomposition
 from ..staging.factory import make_library
 from ..staging.ndarray import Variable
@@ -52,6 +52,10 @@ class RunResult:
     get_time: float = 0.0
     bytes_staged: float = 0.0
     failure: Optional[str] = None
+    #: "exact" ran every actor; "clustered" ran one representative
+    #: group per equivalence class (requested via ``fidelity`` and
+    #: engaged only when the structural checks proved symmetry)
+    fidelity: str = "exact"
     #: per-processor memory timeline of simulation/analytics rank 0
     sim_memory: Optional[TimeSeries] = None
     ana_memory: Optional[TimeSeries] = None
@@ -100,13 +104,27 @@ def run_coupled(
     config=None,
     app_axis: Optional[int] = None,
     trace: Optional[ActivityTrace] = None,
+    fidelity: str = "exact",
 ) -> RunResult:
     """Run one coupled workflow configuration end to end.
 
     ``method=None`` runs the "simulation only"/"analytics only"
     baseline of Figure 2: pure compute, no staging.  Failures from the
     :mod:`repro.hpc.failures` taxonomy are captured in the result.
+
+    ``fidelity="clustered"`` asks the run to simulate one
+    representative actor per symmetry equivalence class instead of
+    every actor; it engages only when the configuration's structural
+    checks prove the classes identical (see
+    :meth:`~repro.staging.base.StagingLibrary.clustering_plan`) and
+    silently falls back to exact otherwise — check
+    ``RunResult.fidelity`` for what actually ran.
+
+    Results are memoized in :mod:`repro.core.runcache` keyed on every
+    input that determines the outcome; traced runs bypass the cache.
     """
+    if fidelity not in ("exact", "clustered"):
+        raise ValueError(f"fidelity must be 'exact' or 'clustered', got {fidelity!r}")
     spec = get_workflow(workflow) if isinstance(workflow, str) else workflow
     machine_spec = get_machine(machine) if isinstance(machine, str) else machine
     var = variable if variable is not None else spec.variable(nsim)
@@ -119,6 +137,24 @@ def run_coupled(
     sim_step = spec.sim_step_seconds if sim_step_seconds is None else sim_step_seconds
     ana_step = spec.ana_step_seconds if ana_step_seconds is None else ana_step_seconds
     axis = spec.app_axis if app_axis is None else app_axis
+
+    cache_key = None
+    if trace is None:
+        from ..core import runcache
+
+        cache_key = _cache_key(
+            machine_spec=machine_spec, spec=spec, method=method,
+            nsim=nsim, nana=nana, steps=steps, transport=transport,
+            num_servers=num_servers, shared_nodes=shared_nodes,
+            variable=var, sim_step_seconds=sim_step,
+            ana_step_seconds=ana_step,
+            topology_overrides=topology_overrides, config=config,
+            app_axis=axis, fidelity=fidelity,
+        )
+        if cache_key is not None:
+            cached = runcache.CACHE.get(cache_key)
+            if cached is not None:
+                return cached
 
     result = RunResult(
         machine=machine_spec.name,
@@ -140,11 +176,41 @@ def run_coupled(
         _execute(
             env, cluster, library, result, var, spec, sim_step, ana_step,
             steps, axis, nsim, nana, shared_nodes, topology_overrides,
-            trace,
+            trace, fidelity,
         )
     except HpcError as exc:
         result.failure = f"{type(exc).__name__}: {exc}"
+
+    if cache_key is not None:
+        from ..core import runcache
+
+        runcache.CACHE.put(cache_key, result)
     return result
+
+
+def _cache_key(machine_spec, spec, **inputs) -> Optional[str]:
+    """The run-cache key, or None when the configuration is uncacheable.
+
+    Only catalog machines and workflows can be keyed by name; ad-hoc
+    spec objects (custom calibrations in tests) bypass the cache, as
+    does anything :func:`repro.core.runcache.config_key` cannot
+    canonicalize.
+    """
+    from ..core import runcache
+
+    try:
+        if get_machine(machine_spec.name) is not machine_spec:
+            return None
+        if get_workflow(spec.name) is not spec:
+            return None
+    except KeyError:
+        return None
+    try:
+        return runcache.config_key(
+            machine=machine_spec.name, workflow=spec.name, **inputs
+        )
+    except TypeError:
+        return None
 
 
 def _build_library(
@@ -168,6 +234,7 @@ def _execute(
     env, cluster, library, result, var, spec, sim_step, ana_step,
     steps, axis, nsim, nana, shared_nodes, topology_overrides,
     trace: Optional[ActivityTrace] = None,
+    fidelity: str = "exact",
 ) -> None:
     machine = cluster.spec
 
@@ -198,13 +265,31 @@ def _execute(
     bytes_per_sim_proc = var.nbytes / nsim
     bytes_per_ana_proc = var.nbytes / nana
 
+    # Clustered fidelity: simulate one representative group when the
+    # library's structural checks prove the chains identical and
+    # disjoint.  Compute-only baselines have no interactions at all, so
+    # one simulation and one analytics actor always suffice.
+    plan: Optional[ClusterPlan] = None
+    if fidelity == "clustered" and trace is None:
+        if library is None:
+            plan = ClusterPlan(sim_reps=1, ana_reps=1, server_reps=0, groups=1)
+        else:
+            plan = library.clustering_plan(write_regions, read_regions)
+            if plan is not None:
+                library.active_writers = plan.sim_reps
+                library.active_readers = plan.ana_reps
+                library.stats_replicas = plan.groups
+    sim_count = plan.sim_reps if plan is not None else sim_actors
+    ana_count = plan.ana_reps if plan is not None else ana_actors
+    result.fidelity = "clustered" if plan is not None else "exact"
+
     sim_trackers = [
         placement.node_of("simulation", i).process_memory(f"simproc{i}")
-        for i in range(sim_actors)
+        for i in range(sim_count)
     ]
     ana_trackers = [
         placement.node_of("analytics", j).process_memory(f"anaproc{j}")
-        for j in range(ana_actors)
+        for j in range(ana_count)
     ]
     if library is not None:
         for i, tracker in enumerate(sim_trackers):
@@ -218,7 +303,7 @@ def _execute(
     def booter(env):
         yield env.timeout(APP_INIT_SECONDS)
         if library is not None:
-            yield env.process(library.bootstrap())
+            yield from library.bootstrap()
         boot_done.succeed()
 
     def sim_actor(i: int):
@@ -246,6 +331,9 @@ def _execute(
                     "staging-lib",
                 )
                 t0 = env.now
+                # Kept as a wrapped process (not ``yield from``): every
+                # actor schedules its put before any put starts, which
+                # fixes the arrival order at contended resources.
                 yield env.process(library.put(i, write_regions[i], step))
                 mark(name, "put", t0)
                 if buffer is not persistent_buffer:
@@ -277,8 +365,8 @@ def _execute(
         finish["ana"] = max(finish["ana"], env.now)
 
     procs = [env.process(booter(env))]
-    procs += [env.process(sim_actor(i)) for i in range(sim_actors)]
-    procs += [env.process(ana_actor(j)) for j in range(ana_actors)]
+    procs += [env.process(sim_actor(i)) for i in range(sim_count)]
+    procs += [env.process(ana_actor(j)) for j in range(ana_count)]
 
     def main(env):
         yield env.all_of(procs)
@@ -295,7 +383,15 @@ def _execute(
         result.put_time = library.stats.put_time
         result.get_time = library.stats.get_time
         result.bytes_staged = library.stats.bytes_staged
-        result.server_memory_peaks = library.server_memory_peaks()
+        peaks = library.server_memory_peaks()
+        if plan is not None and plan.groups > 1 and plan.server_reps:
+            # Only the representative servers saw staged data; extend
+            # their peaks to the full list per the plan's tiling.
+            if plan.server_tiling == "leader":
+                peaks = peaks[:1] + peaks[1:2] * (len(peaks) - 1)
+            else:
+                peaks = peaks[: plan.server_reps] * plan.groups
+        result.server_memory_peaks = peaks
         if library.servers:
             result.server_memory = library.servers[0].memory.series
             result.server_memory_breakdown = library.servers[0].memory.breakdown()

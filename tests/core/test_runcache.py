@@ -1,0 +1,122 @@
+"""The content-addressed run cache."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core import runcache
+from repro.core.runcache import RunCache, config_key
+from repro.hpc.machines import get_machine
+from repro.staging.base import StagingConfig
+from repro.staging.ndarray import Variable
+from repro.workflows import run_coupled
+from repro.workflows.trace import ActivityTrace
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    runcache.clear()
+    yield
+    runcache.clear()
+
+
+class TestConfigKey:
+    BASE = dict(machine="titan", workflow="lammps", method="dataspaces",
+                nsim=32, nana=16, steps=5)
+
+    def test_stable(self):
+        assert config_key(**self.BASE) == config_key(**self.BASE)
+
+    def test_kwarg_order_irrelevant(self):
+        forward = config_key(**self.BASE)
+        backward = config_key(**dict(reversed(list(self.BASE.items()))))
+        assert forward == backward
+
+    @pytest.mark.parametrize("field,value", [
+        ("machine", "cori"), ("method", "dimes"), ("nsim", 64), ("steps", 6),
+    ])
+    def test_sensitive_to_every_input(self, field, value):
+        assert config_key(**{**self.BASE, field: value}) != config_key(**self.BASE)
+
+    def test_dataclasses_canonicalized(self):
+        a = config_key(config=StagingConfig(), variable=Variable("v", (8, 8)))
+        b = config_key(config=StagingConfig(), variable=Variable("v", (8, 8)))
+        c = config_key(config=StagingConfig(max_versions=2),
+                       variable=Variable("v", (8, 8)))
+        assert a == b != c
+
+    def test_uncanonicalizable_rejected(self):
+        with pytest.raises(TypeError):
+            config_key(callback=lambda: None)
+
+
+class TestRunCache:
+    def test_memory_roundtrip(self):
+        cache = RunCache()
+        cache.put("k", {"x": 1})
+        assert cache.get("k") == {"x": 1}
+        assert cache.hits == 1
+        assert cache.get("missing") is None
+        assert cache.misses == 1
+
+    def test_disk_roundtrip_strips_library(self, tmp_path):
+        cache = RunCache(disk_dir=str(tmp_path))
+        result = run_coupled(machine="titan", method="dataspaces",
+                             nsim=32, nana=16)
+        assert result.library is not None
+        cache.put("k", result)
+
+        reloaded = RunCache(disk_dir=str(tmp_path)).get("k")
+        assert reloaded is not None
+        assert reloaded.library is None  # generators do not pickle
+        assert reloaded.end_to_end == result.end_to_end
+        assert result.library is not None  # original untouched
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(disk_dir=str(tmp_path))
+        (tmp_path / "bad.pkl").write_bytes(b"not a pickle")
+        assert cache.get("bad") is None
+
+
+class TestDriverIntegration:
+    KW = dict(machine="titan", method="dataspaces", nsim=32, nana=16)
+
+    def test_second_call_is_a_hit(self):
+        first = run_coupled(**self.KW)
+        hits = runcache.CACHE.hits
+        second = run_coupled(**self.KW)
+        assert second is first
+        assert runcache.CACHE.hits == hits + 1
+
+    def test_fidelity_in_key(self):
+        exact = run_coupled(machine="titan", method=None, nsim=32, nana=16)
+        clustered = run_coupled(machine="titan", method=None, nsim=32, nana=16,
+                                fidelity="clustered")
+        assert clustered is not exact
+
+    def test_traced_runs_bypass(self):
+        cached = run_coupled(**self.KW)
+        traced = run_coupled(trace=ActivityTrace(), **self.KW)
+        assert traced is not cached
+        # and the traced run did not poison the cache
+        assert run_coupled(**self.KW) is cached
+
+    def test_ad_hoc_machine_spec_bypasses(self):
+        spec = dataclasses.replace(get_machine("titan"))
+        assert spec is not get_machine("titan")
+        first = run_coupled(machine=spec, method=None, nsim=32, nana=16)
+        second = run_coupled(machine=spec, method=None, nsim=32, nana=16)
+        assert first is not second
+        assert first.end_to_end == second.end_to_end
+
+    def test_cached_result_pickles(self, tmp_path):
+        runcache.enable_disk(str(tmp_path))
+        try:
+            run_coupled(**self.KW)
+            files = list(tmp_path.glob("*.pkl"))
+            assert len(files) == 1
+            with open(files[0], "rb") as fh:
+                assert pickle.load(fh).end_to_end > 0
+        finally:
+            runcache.CACHE.disk_dir = None

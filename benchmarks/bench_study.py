@@ -6,23 +6,31 @@ figure, the wall-clock seconds and the number of discrete events the
 simulator processed — the two numbers the DES/clustering/caching
 optimizations move.  Modes:
 
-* ``--smoke``  — a small subset (CI-friendly, well under a minute);
-* default      — every study experiment at the small scales;
-* ``--full``   — Figure 2 at the paper's full processor range, the
-  acceptance metric of the performance work (seed: ~122 s).
+* ``--smoke``      — a small subset (CI-friendly, well under a minute);
+* default          — every study experiment at the small scales;
+* ``--full``       — Figure 2 at the paper's full processor range, the
+  acceptance metric of the performance work (seed: ~122 s);
+* ``--jobs-sweep`` — the whole campaign through the :mod:`repro.exec`
+  scheduler at jobs=1/2/4, recording wall-clock, executed points and
+  dedup counts per job level (plus the host's CPU count, without which
+  the numbers are meaningless).
 
 The run cache is cleared before every experiment so timings measure
-simulation, not memoization.
+simulation, not memoization.  Results merge into the output JSON, so
+the ``figures`` and ``jobs_sweep`` sections can be refreshed
+independently.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_study.py [--smoke|--full] [-o PATH]
+    PYTHONPATH=src python benchmarks/bench_study.py \\
+        [--smoke|--full|--jobs-sweep] [-o PATH]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Callable, Dict
@@ -68,6 +76,38 @@ def experiments(mode: str) -> Dict[str, Callable[[], object]]:
     return dict(study.experiments())
 
 
+def jobs_sweep(levels=(1, 2, 4)) -> Dict[str, Dict[str, object]]:
+    """Wall-clock the full campaign at each parallelism level."""
+    sweep: Dict[str, Dict[str, object]] = {}
+    for jobs in levels:
+        runcache.clear()
+        start = time.perf_counter()
+        study = Study(jobs=jobs)
+        study.run()
+        elapsed = time.perf_counter() - start
+        entry: Dict[str, object] = {"seconds": round(elapsed, 3)}
+        if study.run_report is not None:
+            entry["executed"] = study.run_report.executed
+            entry["deduped_refs"] = study.run_report.deduped_refs
+            entry["rounds"] = len(study.run_report.rounds)
+        sweep[str(jobs)] = entry
+        print(f"jobs={jobs}   {elapsed:8.2f} s")
+    return sweep
+
+
+def _merge_existing(path: str, report: Dict) -> Dict:
+    """Keep the other mode's sections when refreshing one of them."""
+    try:
+        with open(path) as fh:
+            existing = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return report
+    for key in ("figures", "jobs_sweep"):
+        if key in existing and key not in report:
+            report[key] = existing[key]
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     group = parser.add_mutually_exclusive_group()
@@ -75,26 +115,36 @@ def main(argv=None) -> int:
                        help="small CI subset")
     group.add_argument("--full", action="store_true",
                        help="Figure 2 at the paper's full scales")
+    group.add_argument("--jobs-sweep", action="store_true",
+                       help="the whole campaign at jobs=1/2/4")
     parser.add_argument("-o", "--output", default="BENCH_study.json",
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
-    mode = "smoke" if args.smoke else ("full" if args.full else "study")
 
-    report = {"schema": 1, "mode": mode, "figures": {}}
-    total = 0.0
-    for ident, runner in experiments(mode).items():
-        runcache.clear()
-        with EventCounter() as counter:
-            start = time.perf_counter()
-            runner()
-            elapsed = time.perf_counter() - start
-        total += elapsed
-        report["figures"][ident] = {
-            "seconds": round(elapsed, 3),
-            "events": counter.count,
-        }
-        print(f"{ident:12s} {elapsed:8.2f} s  {counter.count:>12,} events")
+    report: Dict[str, object] = {"schema": 1, "cpus": os.cpu_count()}
+    if args.jobs_sweep:
+        report["mode"] = "jobs-sweep"
+        report["jobs_sweep"] = jobs_sweep()
+        total = sum(e["seconds"] for e in report["jobs_sweep"].values())
+    else:
+        mode = "smoke" if args.smoke else ("full" if args.full else "study")
+        report["mode"] = mode
+        report["figures"] = {}
+        total = 0.0
+        for ident, runner in experiments(mode).items():
+            runcache.clear()
+            with EventCounter() as counter:
+                start = time.perf_counter()
+                runner()
+                elapsed = time.perf_counter() - start
+            total += elapsed
+            report["figures"][ident] = {
+                "seconds": round(elapsed, 3),
+                "events": counter.count,
+            }
+            print(f"{ident:12s} {elapsed:8.2f} s  {counter.count:>12,} events")
     report["total_seconds"] = round(total, 3)
+    report = _merge_existing(args.output, report)
 
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)

@@ -2,9 +2,11 @@
 
 Subcommands:
 
-* ``study [ids...] [--full] [--verify-findings] [--export DIR]
-  [--cache DIR]`` — rerun the paper's evaluation (default: every
-  figure and table);
+* ``study [ids...] [--only FIG[,FIG...]] [--list] [--full]
+  [--verify-findings] [--export DIR] [--cache DIR] [--jobs N]
+  [--report PATH]`` — rerun the paper's evaluation (default: every
+  figure and table); ``--jobs N`` simulates the deduplicated work-plan
+  on N worker processes (tables stay byte-identical to a serial run);
 * ``list`` — list available experiment ids;
 * ``findings`` — verify the eight findings and print the outcome.
 """
@@ -13,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import sys
 from typing import List, Optional
 
 from .core.export import write_files
@@ -41,17 +44,30 @@ def _cmd_findings() -> int:
 
 def _cmd_study(
     ids: List[str], full: bool, verify: bool, export: Optional[str],
-    cache: Optional[str] = None,
+    cache: Optional[str] = None, jobs: int = 1,
+    report_path: Optional[str] = None,
 ) -> int:
+    if export:
+        os.makedirs(export, exist_ok=True)
+    if report_path is None and jobs > 1 and export:
+        # the run report lives next to the exported results by default
+        report_path = os.path.join(export, "run_report.json")
     try:
-        study = Study(full=full, verify_findings=verify, cache_dir=cache)
+        study = Study(
+            full=full, verify_findings=verify, cache_dir=cache, jobs=jobs,
+            report_path=report_path,
+            progress_stream=sys.stderr if jobs > 1 else None,
+        )
+        study.run(only=ids or None)
     except ValueError as exc:
         print(f"error: {exc}")
         return 2
-    study.run(only=ids or None)
     print(study.report())
+    if study.run_report is not None:
+        print(f"\n{study.run_report.summary()}")
+        if report_path:
+            print(f"run report written to {report_path}")
     if export:
-        os.makedirs(export, exist_ok=True)
         for ident, table in study.results.items():
             write_files(table, os.path.join(export, ident))
         print(f"\nexported {len(study.results)} tables to {export}/")
@@ -68,6 +84,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     study_p = sub.add_parser("study", help="run figures/tables")
     study_p.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    study_p.add_argument("--only", metavar="FIG[,FIG...]", action="append",
+                         default=[],
+                         help="run only these experiments (comma-separated; "
+                              "repeatable; combines with positional ids)")
+    study_p.add_argument("--list", action="store_true", dest="list_ids",
+                         help="list experiment ids and exit")
     study_p.add_argument("--full", action="store_true",
                          help="the paper's full processor range")
     study_p.add_argument("--verify-findings", action="store_true",
@@ -76,7 +98,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="write each table as CSV+JSON into DIR")
     study_p.add_argument("--cache", metavar="DIR",
                          help="persist run results under DIR and reuse "
-                              "them on later invocations")
+                              "them on later invocations (shared by the "
+                              "--jobs workers)")
+    study_p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                         help="simulate the deduplicated work-plan on N "
+                              "worker processes (default: 1, serial)")
+    study_p.add_argument("--report", metavar="PATH", dest="report_path",
+                         help="write the JSON run report here (default with "
+                              "--jobs and --export: DIR/run_report.json)")
 
     sub.add_parser("list", help="list experiment ids")
     sub.add_parser("findings", help="verify the eight findings")
@@ -87,8 +116,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "findings":
         return _cmd_findings()
     if args.command == "study":
-        return _cmd_study(args.ids, args.full, args.verify_findings,
-                          args.export, args.cache)
+        if args.list_ids:
+            return _cmd_list()
+        ids = list(args.ids)
+        for chunk in args.only:
+            ids.extend(i for i in chunk.split(",") if i)
+        return _cmd_study(ids, args.full, args.verify_findings,
+                          args.export, args.cache, args.jobs,
+                          args.report_path)
     parser.print_help()
     return 2
 

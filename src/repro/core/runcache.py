@@ -30,6 +30,13 @@ Layers:
   flag of ``python -m repro study``); results are pickled without the
   ``library`` field (a live library holds generators and simulation
   state that neither pickle nor belong in a cache).
+
+The disk layer is safe to share between concurrent processes (the
+``--jobs N`` worker pool does): every write lands in a unique temp
+file inside the cache directory and is published with an atomic
+``os.replace``, so readers only ever see absent or complete entries,
+and a corrupt or truncated entry is treated as a miss (the result is
+recomputed) rather than an error.
 """
 
 from __future__ import annotations
@@ -39,10 +46,11 @@ import dataclasses
 import hashlib
 import os
 import pickle
+import tempfile
 from typing import Any, Dict, Optional
 
 #: bump when simulation semantics change so stale disk entries miss
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _canonical(value: Any) -> Any:
@@ -85,7 +93,9 @@ class RunCache:
             try:
                 with open(self._path(key), "rb") as fh:
                     result = pickle.load(fh)
-            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            except Exception:
+                # Missing, corrupt or truncated entry: a miss, never an
+                # error — the caller recomputes and overwrites it.
                 result = None
             if result is not None:
                 self._memory[key] = result
@@ -99,14 +109,31 @@ class RunCache:
         if self.disk_dir is not None:
             stripped = copy.copy(result)
             stripped.library = None
-            os.makedirs(self.disk_dir, exist_ok=True)
-            tmp = self._path(key) + ".tmp"
             try:
-                with open(tmp, "wb") as fh:
-                    pickle.dump(stripped, fh)
-                os.replace(tmp, self._path(key))
+                os.makedirs(self.disk_dir, exist_ok=True)
+                # A unique temp file per writer + atomic replace keeps
+                # concurrent processes (``--jobs N`` workers) from ever
+                # exposing a partial entry under the final name.
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.disk_dir, prefix=f".{key[:16]}-", suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        pickle.dump(stripped, fh)
+                    os.replace(tmp, self._path(key))
+                except BaseException:
+                    os.unlink(tmp)
+                    raise
             except OSError:
                 pass
+
+    def seed(self, key: str, result: Any) -> None:
+        """Insert into the memory layer only (no disk write, no stats).
+
+        The parallel executor uses this to publish worker-computed
+        results to the in-process layer the serial replay reads.
+        """
+        self._memory[key] = result
 
     def clear(self) -> None:
         self._memory.clear()

@@ -1,0 +1,95 @@
+"""``repro.exec`` — the parallel study scheduler.
+
+Three stages, three modules:
+
+* :mod:`.plan`   — enumerate every experiment's ``run_coupled`` points
+  into a deduplicated work-plan (content-addressed by the run cache's
+  config key);
+* :mod:`.pool`   — execute the plan on a spawn-safe multiprocessing
+  pool with crash retry and quarantine, sharing the on-disk run cache;
+* :mod:`.report` — live progress/ETA plus the JSON run report.
+
+:func:`execute_parallel` ties them together.  It never *produces* the
+tables itself: worker results are seeded into the in-process run
+cache, and the caller replays the experiments serially in canonical
+order — every point a cache hit — so ``results/*`` are byte-identical
+at any job count.  Planning runs repeat (bounded) because some points
+hide behind data-dependent branches: round 1 captures the
+unconditional sweep, round 2 re-plans against real results and
+captures e.g. the Figure 3 remediation reruns that only happen after a
+real failure.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Mapping, Optional, TextIO
+
+from .plan import PlannedTask, WorkPlan, build_plan
+from .pool import TaskOutcome, WorkerPool
+from .report import ProgressPrinter, RunReport
+
+__all__ = [
+    "PlannedTask",
+    "WorkPlan",
+    "build_plan",
+    "TaskOutcome",
+    "WorkerPool",
+    "ProgressPrinter",
+    "RunReport",
+    "execute_parallel",
+]
+
+#: planning rounds are cheap; two normally suffice (sweep + remediation)
+MAX_ROUNDS = 3
+
+
+def execute_parallel(
+    experiments: Mapping[str, Callable[[], Any]],
+    jobs: int,
+    cache_dir: Optional[str] = None,
+    report_path: Optional[str] = None,
+    progress_stream: Optional[TextIO] = None,
+    max_attempts: int = 3,
+    max_rounds: int = MAX_ROUNDS,
+) -> RunReport:
+    """Plan, execute and cache-seed the experiments' simulation points.
+
+    Returns the :class:`RunReport`; the caller still runs every
+    experiment afterwards (now against a warm cache) to build the
+    actual tables.
+    """
+    from ..core import runcache
+
+    start = time.monotonic()
+    report = RunReport(jobs=jobs)
+    for round_no in range(1, max_rounds + 1):
+        plan = build_plan(experiments)
+        tasks = [t for t in plan.tasks if t.key not in report.quarantined_keys]
+        if not tasks:
+            if round_no == 1:
+                report.absorb(round_no, plan, {})
+            break
+        if progress_stream is not None:
+            print(
+                f"round {round_no}: {len(tasks)} points to simulate "
+                f"({plan.total_refs} calls, {plan.deduped_refs} deduped, "
+                f"{plan.cache_hits} already cached) on {jobs} workers",
+                file=progress_stream,
+                flush=True,
+            )
+        pool = WorkerPool(
+            jobs=jobs,
+            cache_dir=cache_dir,
+            max_attempts=max_attempts,
+            progress=ProgressPrinter(len(tasks), progress_stream),
+        )
+        outcomes = pool.run(tasks)
+        for key, outcome in outcomes.items():
+            if outcome.result is not None:
+                runcache.CACHE.seed(key, outcome.result)
+        report.absorb(round_no, plan, outcomes)
+    report.wall_seconds = time.monotonic() - start
+    if report_path:
+        report.write(report_path)
+    return report

@@ -1,0 +1,325 @@
+"""A spawn-safe multiprocessing pool for planned simulation points.
+
+Each worker is a fresh ``spawn`` interpreter: it imports :mod:`repro`
+from scratch, so the machine/workflow registries (whose singleton
+identity gates the run cache) are rebuilt per worker, and no simulator
+state leaks between the parent and its children.  Tasks travel as
+canonical ``run_coupled`` kwargs (machines and workflows by name);
+results come back as library-stripped :class:`RunResult` objects.
+
+Scheduling is parent-driven, one in-flight task per worker over a
+dedicated pipe, which makes crash attribution exact: when a worker's
+process sentinel fires with a task assigned, that task crashed with
+it.  Crashed (or exception-raising) tasks are retried with bounded
+exponential backoff on a replacement worker; a task that keeps failing
+is **quarantined** — recorded and skipped — instead of killing the
+campaign (the serial replay computes quarantined points in-process).
+
+If ``cache_dir`` is set, every worker attaches the shared on-disk run
+cache; its writes are concurrency-safe (unique temp file + atomic
+rename, see :mod:`repro.core.runcache`).
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .plan import PlannedTask
+
+#: exit code of a deliberately crashed (poison-marker) worker
+_CRASH_EXIT = 13
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one planned task across all its attempts."""
+
+    key: str
+    label: str
+    experiments: List[str]
+    status: str = "pending"  # -> "ok" | "quarantined"
+    attempts: int = 0
+    #: simulation seconds summed over attempts that reported back
+    seconds: float = 0.0
+    #: True when the worker answered from the shared disk cache
+    cache_hit: bool = False
+    result: Optional[Any] = None
+    #: last error (traceback text or crash description)
+    error: Optional[str] = None
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+
+def _execute_spec(spec: Dict[str, Any], attempt: int):
+    """Run one task payload inside a worker.
+
+    Test hook: a ``"__crash__"`` marker in the spec kills the worker
+    process outright — ``True`` on every attempt (a poison task),
+    an integer N on attempts <= N (crash then recover) — exercising
+    the retry and quarantine paths with real process deaths.
+    """
+    spec = dict(spec)
+    crash = spec.pop("__crash__", None)
+    if crash is True or (isinstance(crash, int) and attempt <= crash):
+        os._exit(_CRASH_EXIT)
+
+    from ..core import runcache
+    from ..workflows import run_coupled
+
+    hits_before = runcache.CACHE.hits
+    result = run_coupled(**spec)
+    cache_hit = runcache.CACHE.hits > hits_before
+    stripped = copy.copy(result)
+    stripped.library = None  # live simulator state neither pickles nor ships
+    return stripped, cache_hit
+
+
+def _worker_main(conn, cache_dir: Optional[str]) -> None:
+    """Worker loop: receive (task_id, spec, attempt), send the outcome."""
+    from ..core import runcache
+
+    if cache_dir:
+        runcache.enable_disk(cache_dir)
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            return
+        if msg is None:
+            return
+        task_id, spec, attempt = msg
+        start = time.perf_counter()
+        try:
+            result, cache_hit = _execute_spec(spec, attempt)
+            conn.send(
+                ("ok", task_id, result, time.perf_counter() - start, cache_hit, None)
+            )
+        except Exception:
+            conn.send(
+                (
+                    "error",
+                    task_id,
+                    None,
+                    time.perf_counter() - start,
+                    False,
+                    traceback.format_exc(),
+                )
+            )
+
+
+@dataclass
+class _Worker:
+    ident: int
+    proc: multiprocessing.Process
+    conn: Any
+    #: (task, attempt) currently assigned, or None when idle
+    busy: Optional[tuple] = None
+
+
+@dataclass
+class WorkerPool:
+    """Run planned tasks across ``jobs`` spawn workers."""
+
+    jobs: int
+    cache_dir: Optional[str] = None
+    #: total tries per task before quarantine
+    max_attempts: int = 3
+    backoff_base: float = 0.25
+    backoff_cap: float = 4.0
+    #: called with a progress event dict after every task resolution
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None
+    _next_worker_id: int = field(default=0, repr=False)
+
+    def run(self, tasks: Sequence[PlannedTask]) -> Dict[str, TaskOutcome]:
+        outcomes = {
+            t.key: TaskOutcome(key=t.key, label=t.label(), experiments=list(t.experiments))
+            for t in tasks
+        }
+        if not tasks:
+            return outcomes
+        ctx = multiprocessing.get_context("spawn")
+        pending = deque((t, 1) for t in tasks)  # (task, attempt number)
+        delayed: List[tuple] = []  # (ready_at, task, attempt)
+        resolved = 0
+        workers: List[_Worker] = [
+            self._spawn(ctx) for _ in range(min(self.jobs, len(tasks)))
+        ]
+        try:
+            while resolved < len(tasks):
+                now = time.monotonic()
+                for entry in [d for d in delayed if d[0] <= now]:
+                    delayed.remove(entry)
+                    pending.append((entry[1], entry[2]))
+                self._assign(pending, workers)
+                resolved += self._poll(
+                    workers, pending, delayed, outcomes, ctx,
+                    timeout=0.05 if delayed else 0.5,
+                )
+        finally:
+            self._shutdown(workers)
+        return outcomes
+
+    # -- internals -----------------------------------------------------
+
+    def _spawn(self, ctx) -> _Worker:
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.cache_dir),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        worker = _Worker(ident=self._next_worker_id, proc=proc, conn=parent_conn)
+        self._next_worker_id += 1
+        return worker
+
+    def _assign(self, pending, workers: List[_Worker]) -> None:
+        for worker in workers:
+            if not pending:
+                return
+            if worker.busy is not None or not worker.proc.is_alive():
+                continue
+            task, attempt = pending[0]
+            try:
+                worker.conn.send((task.key, task.spec, attempt))
+            except (BrokenPipeError, OSError):
+                continue  # the sentinel poll below reaps this worker
+            pending.popleft()
+            worker.busy = (task, attempt)
+
+    def _poll(
+        self, workers, pending, delayed, outcomes, ctx, timeout: float
+    ) -> int:
+        """Wait for results or deaths; returns tasks newly resolved."""
+        resolved = 0
+        # Reap anything that died since the last poll — such a worker
+        # is in neither wait set below and would otherwise leak its
+        # in-flight task.
+        for worker in [w for w in workers if not w.proc.is_alive()]:
+            resolved += self._reap(worker, workers, pending, delayed, outcomes, ctx)
+        if not workers:
+            if pending or delayed:
+                workers.append(self._spawn(ctx))
+            return resolved
+        channels = {w.conn: w for w in workers}
+        sentinels = {w.proc.sentinel: w for w in workers}
+        ready = connection.wait(
+            list(channels) + list(sentinels), timeout=timeout
+        )
+        dead: List[_Worker] = []
+        for obj in ready:
+            worker = channels.get(obj)
+            if worker is not None:
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    dead.append(worker)
+                    continue
+                resolved += self._finish(worker, message, delayed, outcomes)
+            else:
+                dead.append(sentinels[obj])
+        for worker in dead:
+            resolved += self._reap(worker, workers, pending, delayed, outcomes, ctx)
+        return resolved
+
+    def _finish(self, worker: _Worker, message, delayed, outcomes) -> int:
+        status, task_id, result, seconds, cache_hit, error = message
+        task, attempt = worker.busy
+        worker.busy = None
+        outcome = outcomes[task_id]
+        outcome.attempts = attempt
+        outcome.seconds += seconds
+        if status == "ok":
+            outcome.status = "ok"
+            outcome.result = result
+            outcome.cache_hit = cache_hit
+            outcome.error = None
+            self._emit(outcome, worker)
+            return 1
+        outcome.error = error
+        return self._retry_or_quarantine(task, attempt, delayed, outcomes, worker)
+
+    def _reap(self, worker, workers, pending, delayed, outcomes, ctx) -> int:
+        """A worker died: salvage any last message, retry its task."""
+        if worker not in workers:
+            return 0
+        workers.remove(worker)
+        resolved = 0
+        # Drain messages that were already in the pipe when it died —
+        # the task may in fact have completed.
+        try:
+            while worker.busy is not None and worker.conn.poll():
+                resolved += self._finish(worker, worker.conn.recv(), delayed, outcomes)
+        except (EOFError, OSError):
+            pass
+        worker.conn.close()
+        worker.proc.join(timeout=1.0)
+        if worker.busy is not None:
+            task, attempt = worker.busy
+            worker.busy = None
+            outcome = outcomes[task.key]
+            outcome.attempts = attempt
+            outcome.error = (
+                f"worker {worker.ident} died (exit code {worker.proc.exitcode}) "
+                f"while running {task.label()}"
+            )
+            resolved += self._retry_or_quarantine(
+                task, attempt, delayed, outcomes, worker
+            )
+        unresolved = sum(1 for o in outcomes.values() if o.status == "pending")
+        if unresolved > len(workers):
+            workers.append(self._spawn(ctx))
+        return resolved
+
+    def _retry_or_quarantine(self, task, attempt, delayed, outcomes, worker) -> int:
+        outcome = outcomes[task.key]
+        if attempt >= self.max_attempts:
+            outcome.status = "quarantined"
+            self._emit(outcome, worker)
+            return 1
+        backoff = min(self.backoff_base * (2 ** (attempt - 1)), self.backoff_cap)
+        delayed.append((time.monotonic() + backoff, task, attempt + 1))
+        self._emit(outcome, worker, retrying=True, backoff=backoff)
+        return 0
+
+    def _emit(self, outcome: TaskOutcome, worker, retrying=False, backoff=0.0):
+        if self.progress is None:
+            return
+        self.progress(
+            dict(
+                key=outcome.key,
+                label=outcome.label,
+                experiments=outcome.experiments,
+                status="retrying" if retrying else outcome.status,
+                attempts=outcome.attempts,
+                seconds=outcome.seconds,
+                cache_hit=outcome.cache_hit,
+                worker=worker.ident,
+                backoff=backoff,
+                error=outcome.error,
+            )
+        )
+
+    def _shutdown(self, workers: List[_Worker]) -> None:
+        for worker in workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=1.0)
+            worker.conn.close()

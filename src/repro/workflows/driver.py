@@ -34,6 +34,21 @@ from .trace import ActivityTrace
 #: DataSpaces staging servers").
 APP_INIT_SECONDS = 5.0
 
+#: when set (see :mod:`repro.exec.plan`), :func:`run_coupled` records
+#: the resolved configuration instead of simulating and returns the
+#: recorder's placeholder — how the parallel scheduler enumerates a
+#: study's simulation points without running them
+_PLAN_RECORDER = None
+
+
+def set_plan_recorder(recorder):
+    """Install (or clear, with None) the planning hook; returns the
+    previous recorder so callers can restore it."""
+    global _PLAN_RECORDER
+    previous = _PLAN_RECORDER
+    _PLAN_RECORDER = recorder
+    return previous
+
 
 @dataclass
 class RunResult:
@@ -56,6 +71,10 @@ class RunResult:
     #: group per equivalence class (requested via ``fidelity`` and
     #: engaged only when the structural checks proved symmetry)
     fidelity: str = "exact"
+    #: inputs echoed into the result so consumers never need the live
+    #: ``library`` (which is stripped from pickled/worker-shipped results)
+    variable_nbytes: int = 0
+    nservers: int = 0
     #: per-processor memory timeline of simulation/analytics rank 0
     sim_memory: Optional[TimeSeries] = None
     ana_memory: Optional[TimeSeries] = None
@@ -140,8 +159,6 @@ def run_coupled(
 
     cache_key = None
     if trace is None:
-        from ..core import runcache
-
         cache_key = _cache_key(
             machine_spec=machine_spec, spec=spec, method=method,
             nsim=nsim, nana=nana, steps=steps, transport=transport,
@@ -151,10 +168,30 @@ def run_coupled(
             topology_overrides=topology_overrides, config=config,
             app_axis=axis, fidelity=fidelity,
         )
-        if cache_key is not None:
-            cached = runcache.CACHE.get(cache_key)
-            if cached is not None:
-                return cached
+
+    if _PLAN_RECORDER is not None:
+        # Planning pass: record the resolved point (when cacheable) and
+        # hand back a placeholder — nothing simulates.  Traced and
+        # uncacheable calls are left for the serial replay.
+        return _PLAN_RECORDER.intercept(
+            cache_key,
+            dict(
+                machine=machine_spec.name, workflow=spec.name,
+                method=method, nsim=nsim, nana=nana, steps=steps,
+                transport=transport, num_servers=num_servers,
+                shared_nodes=shared_nodes, variable=var,
+                sim_step_seconds=sim_step, ana_step_seconds=ana_step,
+                topology_overrides=topology_overrides, config=config,
+                app_axis=axis, fidelity=fidelity,
+            ),
+        )
+
+    if cache_key is not None:
+        from ..core import runcache
+
+        cached = runcache.CACHE.get(cache_key)
+        if cached is not None:
+            return cached
 
     result = RunResult(
         machine=machine_spec.name,
@@ -163,6 +200,7 @@ def run_coupled(
         nsim=nsim,
         nana=nana,
         steps=steps,
+        variable_nbytes=var.nbytes,
     )
 
     env = Environment()
@@ -247,6 +285,7 @@ def _execute(
         sim_actors, ana_actors = topo.sim_actors, topo.ana_actors
         sim_scale, ana_scale = topo.sim_scale, topo.ana_scale
         placement = library.placement
+        result.nservers = topo.nservers
     else:
         # Compute-only baseline: minimal placement, actors stand in for
         # weak-scaled processors.

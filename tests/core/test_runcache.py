@@ -1,7 +1,9 @@
 """The content-addressed run cache."""
 
 import dataclasses
+import multiprocessing
 import pickle
+import types
 
 import pytest
 
@@ -77,6 +79,65 @@ class TestRunCache:
         cache = RunCache(disk_dir=str(tmp_path))
         (tmp_path / "bad.pkl").write_bytes(b"not a pickle")
         assert cache.get("bad") is None
+
+    def test_truncated_entry_recomputed_not_raised(self, tmp_path):
+        cache = RunCache(disk_dir=str(tmp_path))
+        cache.put("k", _entry(1))
+        path = tmp_path / "k.pkl"
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        fresh = RunCache(disk_dir=str(tmp_path))
+        assert fresh.get("k") is None  # miss, no exception
+        fresh.put("k", _entry(2))  # recompute overwrites the wreck
+        assert RunCache(disk_dir=str(tmp_path)).get("k").payload == 2
+
+    def test_seed_is_memory_only(self, tmp_path):
+        cache = RunCache(disk_dir=str(tmp_path))
+        cache.seed("k", _entry(7))
+        assert not list(tmp_path.iterdir())  # nothing on disk
+        assert cache.get("k").payload == 7
+        assert cache.misses == 0
+
+
+def _entry(payload):
+    """A picklable stand-in with the ``library`` attr put() strips."""
+    return types.SimpleNamespace(library=None, payload=payload,
+                                 pad="x" * 20000)
+
+
+def _hammer(directory, worker, writes):
+    """Write the same small key set over and over (spawn target)."""
+    cache = RunCache(disk_dir=directory)
+    for i in range(writes):
+        cache.put(f"key{i % 4}", _entry((worker, i)))
+
+
+class TestConcurrentDisk:
+    """The ``--jobs`` contract: many processes, one cache directory."""
+
+    def test_concurrent_writers_and_reader(self, tmp_path):
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(target=_hammer, args=(str(tmp_path), w, 50))
+            for w in range(3)
+        ]
+        for p in procs:
+            p.start()
+        # read continuously while the writers race on the same keys
+        reader = RunCache(disk_dir=str(tmp_path))
+        while any(p.is_alive() for p in procs):
+            for i in range(4):
+                entry = reader.get(f"key{i}")
+                assert entry is None or isinstance(entry.payload, tuple)
+            reader._memory.clear()  # force disk reads every round
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        # every surviving entry is complete, and no temp files leak
+        for i in range(4):
+            assert RunCache(disk_dir=str(tmp_path)).get(f"key{i}") is not None
+        leftovers = [n for n in (p.name for p in tmp_path.iterdir())
+                     if n.endswith(".tmp")]
+        assert leftovers == []
 
 
 class TestDriverIntegration:

@@ -13,7 +13,9 @@ optimizations move.  Modes:
 * ``--jobs-sweep`` — the whole campaign through the :mod:`repro.exec`
   scheduler at jobs=1/2/4, recording wall-clock, executed points and
   dedup counts per job level (plus the host's CPU count, without which
-  the numbers are meaningless).
+  the numbers are meaningless);
+* ``--chaos``      — the seed-7 fault-injection campaign (``python -m
+  repro chaos``): wall-clock and event count of all 35 chaos points.
 
 The run cache is cleared before every experiment so timings measure
 simulation, not memoization.  Results merge into the output JSON, so
@@ -95,6 +97,23 @@ def jobs_sweep(levels=(1, 2, 4)) -> Dict[str, Dict[str, object]]:
     return sweep
 
 
+def chaos_bench(seed: int = 7) -> Dict[str, object]:
+    """Wall-clock the chaos campaign (serial, cold cache)."""
+    from repro.chaos import run_campaign
+
+    runcache.clear()
+    with EventCounter() as counter:
+        start = time.perf_counter()
+        run_campaign(seed=seed)
+        elapsed = time.perf_counter() - start
+    print(f"chaos(seed={seed}) {elapsed:8.2f} s  {counter.count:>12,} events")
+    return {
+        "seed": seed,
+        "seconds": round(elapsed, 3),
+        "events": counter.count,
+    }
+
+
 def _merge_existing(path: str, report: Dict) -> Dict:
     """Keep the other mode's sections when refreshing one of them."""
     try:
@@ -102,7 +121,7 @@ def _merge_existing(path: str, report: Dict) -> Dict:
             existing = json.load(fh)
     except (OSError, json.JSONDecodeError):
         return report
-    for key in ("figures", "jobs_sweep"):
+    for key in ("figures", "jobs_sweep", "chaos"):
         if key in existing and key not in report:
             report[key] = existing[key]
     return report
@@ -117,6 +136,8 @@ def main(argv=None) -> int:
                        help="Figure 2 at the paper's full scales")
     group.add_argument("--jobs-sweep", action="store_true",
                        help="the whole campaign at jobs=1/2/4")
+    group.add_argument("--chaos", action="store_true",
+                       help="the seed-7 fault-injection campaign")
     parser.add_argument("-o", "--output", default="BENCH_study.json",
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
@@ -126,6 +147,10 @@ def main(argv=None) -> int:
         report["mode"] = "jobs-sweep"
         report["jobs_sweep"] = jobs_sweep()
         total = sum(e["seconds"] for e in report["jobs_sweep"].values())
+    elif args.chaos:
+        report["mode"] = "chaos"
+        report["chaos"] = chaos_bench()
+        total = report["chaos"]["seconds"]
     else:
         mode = "smoke" if args.smoke else ("full" if args.full else "study")
         report["mode"] = mode

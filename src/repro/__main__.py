@@ -8,7 +8,11 @@ Subcommands:
   figure and table); ``--jobs N`` simulates the deduplicated work-plan
   on N worker processes (tables stay byte-identical to a serial run);
 * ``list`` — list available experiment ids;
-* ``findings`` — verify the eight findings and print the outcome.
+* ``findings`` — verify the eight findings (plus the chaos-campaign
+  robustness findings) and print the outcome;
+* ``chaos [--seed S] [--jobs N] [--export DIR] [--report PATH]`` — run
+  the fault-injection campaign and export ``chaos_matrix`` and
+  ``chaos_blast`` (byte-identical at any seed-fixed job count).
 """
 
 from __future__ import annotations
@@ -32,8 +36,10 @@ def _cmd_list() -> int:
 
 
 def _cmd_findings() -> int:
+    from .core.findings import CHAOS_FINDINGS
+
     failures = 0
-    for finding in FINDINGS:
+    for finding in FINDINGS + CHAOS_FINDINGS:
         ok = finding.verify() if finding.verify else None
         status = "n/a" if ok is None else ("ok" if ok else "FAILED")
         failures += status == "FAILED"
@@ -74,6 +80,31 @@ def _cmd_study(
     return 0
 
 
+def _cmd_chaos(
+    seed: int, jobs: int, export: Optional[str],
+    report_path: Optional[str] = None,
+) -> int:
+    from .chaos import run_campaign
+
+    if report_path is None and jobs > 1 and export:
+        report_path = os.path.join(export, "chaos_run_report.json")
+    results = run_campaign(
+        seed=seed, jobs=jobs, export_dir=export, report_path=report_path,
+        progress_stream=sys.stderr if jobs > 1 else None,
+    )
+    run_report = results.pop("__report__", None)
+    for table in results.values():
+        print(table.render())
+        print()
+    if run_report is not None:
+        print(run_report.summary())
+        if report_path:
+            print(f"run report written to {report_path}")
+    if export:
+        print(f"exported {len(results)} tables to {export}/")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -110,11 +141,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("list", help="list experiment ids")
     sub.add_parser("findings", help="verify the eight findings")
 
+    chaos_p = sub.add_parser(
+        "chaos", help="run the fault-injection campaign"
+    )
+    chaos_p.add_argument("--seed", type=int, default=7, metavar="S",
+                         help="campaign seed: fixes every fault plan "
+                              "(default: 7, the committed goldens)")
+    chaos_p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                         help="simulate the campaign's points on N worker "
+                              "processes (tables stay byte-identical)")
+    chaos_p.add_argument("--export", metavar="DIR", default="results",
+                         help="write chaos_matrix/chaos_blast as CSV+JSON "
+                              "into DIR (default: results)")
+    chaos_p.add_argument("--report", metavar="PATH", dest="report_path",
+                         help="write the JSON run report here (default "
+                              "with --jobs: DIR/chaos_run_report.json)")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "findings":
         return _cmd_findings()
+    if args.command == "chaos":
+        return _cmd_chaos(args.seed, args.jobs, args.export, args.report_path)
     if args.command == "study":
         if args.list_ids:
             return _cmd_list()

@@ -1,0 +1,36 @@
+"""repro.chaos: deterministic fault injection and recovery campaigns.
+
+The paper's Section VI and Table IV catalog how each staging library
+fails at scale; this package makes those findings *quantitative* by
+injecting typed faults into the simulated workflows and sweeping fault
+type x injection point x library into a machine-checked outcome matrix
+(``results/chaos_matrix.*``, ``python -m repro chaos``).
+"""
+
+from .faults import (
+    DEFAULT_RECOVERY,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    RecoveryPolicy,
+    TAXONOMY,
+)
+from .campaign import (
+    CHAOS_LIBRARIES,
+    build_campaign,
+    run_campaign,
+)
+
+__all__ = [
+    "CHAOS_LIBRARIES",
+    "DEFAULT_RECOVERY",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "RecoveryPolicy",
+    "TAXONOMY",
+    "build_campaign",
+    "run_campaign",
+]

@@ -50,7 +50,7 @@ import tempfile
 from typing import Any, Dict, Optional
 
 #: bump when simulation semantics change so stale disk entries miss
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def _canonical(value: Any) -> Any:

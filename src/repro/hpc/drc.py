@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, Generator, Set
 
 from ..sim import Environment, Resource
-from .failures import DrcOverload, DrcPolicyViolation
+from .failures import CredentialRejected, DrcOverload, DrcPolicyViolation
 
 
 class Credential:
@@ -55,6 +55,8 @@ class DrcService:
         self._node_jobs: Dict[int, Set[str]] = {}
         self.requests_served = 0
         self.requests_failed = 0
+        #: chaos: reject every request until this simulated instant
+        self.reject_until = 0.0
 
     @property
     def pending(self) -> int:
@@ -69,6 +71,12 @@ class DrcService:
         second job tries to use RDMA on an already-claimed node without
         the node-insecure option.
         """
+        if self.env.now < self.reject_until:
+            self.requests_failed += 1
+            raise CredentialRejected(
+                f"DRC transiently rejecting requests until "
+                f"t={self.reject_until} (job {job_id})"
+            )
         holders = self._node_jobs.setdefault(node_id, set())
         if holders and job_id not in holders and not self.node_insecure:
             self.requests_failed += 1

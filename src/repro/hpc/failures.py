@@ -88,3 +88,30 @@ class DataLoss(HpcError):
     libraries construct resilience mechanisms; without replication a
     staging-server crash loses the staged versions.
     """
+
+
+class StagingServerCrashed(HpcError):
+    """A staging-server process died mid-run (Table IV).
+
+    Distinct from :class:`NodeFailure` (the whole node) and
+    :class:`DataLoss` (the staged bytes): this is the *detection* of a
+    dead server by a client whose recovery policy gave up waiting.
+    """
+
+
+class CredentialRejected(HpcError):
+    """The DRC service transiently rejected a credential request.
+
+    Paper, Table IV: DRC failures on Cori were transient — retrying
+    after a backoff often succeeded — unlike :class:`DrcOverload`,
+    which is a capacity limit.
+    """
+
+
+class WorkflowHang(HpcError):
+    """The coupled workflow stopped making progress (watchdog fired).
+
+    The paper observes that a DataSpaces server crash has no failure
+    detection path: "the whole workflow will be stalled".  The chaos
+    watchdog bounds that stall and converts it into this error.
+    """

@@ -59,6 +59,15 @@ class LustreFilesystem:
         self.bytes_read = 0
         self.files_created = 0
 
+    def degrade_ost(self, index: int, factor: float) -> None:
+        """Chaos: slow one OST down by ``factor`` (``inf`` = failed)."""
+        self._osts[index % self.spec.num_osts].degrade(factor)
+
+    def restore_osts(self) -> None:
+        """Chaos: return every OST to its nominal rate."""
+        for ost in self._osts:
+            ost.restore()
+
     def open(self, path: str, stripe_count: int = -1, stripe_size: int = 1 << 20) -> Generator:
         """Process: create/open a file (one MDS metadata operation).
 

@@ -27,6 +27,22 @@ class BandwidthPipe:
         self._res = Resource(env, capacity=1)
         self.bytes_moved = 0.0
         self.busy_time = 0.0
+        self._nominal_rate = self.rate
+
+    def degrade(self, factor: float) -> None:
+        """Cut the pipe's rate by ``factor`` (chaos: transport fault).
+
+        Only transfers *granted* after this call see the new rate; an
+        in-flight transfer already computed its duration, which keeps
+        degradation deterministic regardless of event interleaving.
+        """
+        if factor <= 0:
+            raise ValueError(f"degrade factor must be positive, got {factor}")
+        self.rate = self._nominal_rate / factor
+
+    def restore(self) -> None:
+        """Undo :meth:`degrade`."""
+        self.rate = self._nominal_rate
 
     @property
     def queue_length(self) -> int:

@@ -71,6 +71,18 @@ class Environment:
         """A fresh, untriggered event."""
         return Event(self)
 
+    def at(self, when: float, fn) -> Event:
+        """Run ``fn()`` when the clock reaches the absolute time ``when``.
+
+        The fault-injection hook: ``fn`` runs as an event callback, so
+        an exception it raises propagates out of :meth:`step` /
+        :meth:`run` like any unhandled event failure.  Returns the
+        underlying event (useful for cancellation via ``callbacks``).
+        """
+        event = self.timeout_at(max(when, self._now))
+        event.callbacks.append(lambda _ev: fn())
+        return event
+
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, list(events))
 

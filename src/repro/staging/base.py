@@ -242,6 +242,19 @@ class StagingLibrary:
         self._sim_endpoints: Dict[int, Endpoint] = {}
         self._ana_endpoints: Dict[int, Endpoint] = {}
         self._client_trackers: Dict[Tuple[str, int], MemoryTracker] = {}
+        # ---- chaos state (all falsy by default: the hooks below are
+        # zero-cost truthiness checks on the fault-free path) ----
+        #: recovery policy driving failure reactions; None = the
+        #: library's legacy (pre-chaos) semantics
+        self.recovery = None
+        #: (kind, actor) pairs of dead client ranks ('sim' / 'ana')
+        self.dead_ranks: set = set()
+        #: versions the run could not deliver to analytics
+        self.versions_lost: int = 0
+        #: recovery actions taken (restarts, reconnects, drains)
+        self.recovery_events: int = 0
+        #: chaos callbacks fired with the running put count
+        self._put_watchers: List = []
 
     # ------------------------------------------------------------ setup
 
@@ -324,6 +337,26 @@ class StagingLibrary:
 
     def shutdown(self) -> None:
         """Release per-run transport state."""
+
+    # ------------------------------------------------------ chaos hooks
+
+    def rank_died(self, kind: str, actor: int) -> None:
+        """Chaos: client rank ``actor`` of ``kind`` died mid-run.
+
+        The base just records the death; the driver's actor loops poll
+        :attr:`dead_ranks` at step boundaries and stop issuing work.
+        Subclasses layer on the paper's per-library semantics (Flexpath
+        drains, Decaf propagates a termination token, MPI-IO restarts).
+        """
+        self.dead_ranks.add((kind, actor))
+
+    def server_crash(self, server_index: int) -> None:
+        """Chaos: staging server ``server_index`` died.
+
+        The base is a no-op for serverless methods; server-backed
+        subclasses mark the server dead so the next access runs the
+        recovery policy.
+        """
 
     # ------------------------------------------------------- clustering
 
@@ -437,6 +470,9 @@ class StagingLibrary:
             self.stats.bytes_staged += nbytes
             self.stats.put_time += elapsed
         self.stats.puts += self.stats_replicas
+        if self._put_watchers:
+            for watcher in list(self._put_watchers):
+                watcher(self.stats.puts)
 
     def _record_get(self, nbytes: float, elapsed: float) -> None:
         for _ in range(self.stats_replicas):

@@ -321,6 +321,9 @@ class DataSpaces(StagingLibrary):
         plan = access_plan(region, self._partition, self.topology.server_actors)
         for server_index, sub in plan:
             server = self.servers[server_index]
+            if self.recovery is not None and not server.node.alive:
+                server_index = yield from self._server_or_recover(server_index)
+                server = self.servers[server_index]
             nbytes = var.region_bytes(sub)
             yield from self.dart.bulk_put(
                 client, server_index, self._wire_bytes(nbytes)
@@ -372,6 +375,42 @@ class DataSpaces(StagingLibrary):
             server.store.evict(self.variable, old)
         self.global_store.evict(self.variable, old)
 
+    # ------------------------------------------------------ chaos hooks
+
+    def server_crash(self, server_index: int) -> None:
+        """Chaos: kill the node hosting staging server ``server_index``."""
+        if not self.servers:
+            return
+        self.servers[server_index % len(self.servers)].node.fail()
+
+    def _server_or_recover(self, server_index: int) -> Generator:
+        """Process: resolve a live source index per the recovery policy.
+
+        Only reached when a :class:`~repro.chaos.faults.RecoveryPolicy`
+        is active; the policy decides between the paper's default — no
+        failure detection, "the whole workflow will be stalled" — and
+        the swappable alternatives.
+        """
+        from ..hpc.failures import StagingServerCrashed
+
+        policy = self.recovery
+        if policy.kind == "none":
+            # DataSpaces reality: clients block forever on the dead
+            # server; only the campaign watchdog bounds the stall.
+            yield self.env.event()
+        if policy.kind == "reconnect-backoff":
+            for attempt in range(policy.max_retries):
+                self.recovery_events += 1
+                yield self.env.timeout(policy.backoff * (2 ** attempt))
+                if self.servers[server_index].node.alive:
+                    return server_index
+        elif policy.timeout > 0:
+            yield self.env.timeout(policy.timeout)
+        raise StagingServerCrashed(
+            f"{self.name} server {server_index} unreachable "
+            f"(policy {policy.kind!r})"
+        )
+
     def _live_source(self, server_index: int) -> int:
         """The server to read a fragment from, surviving failures.
 
@@ -413,7 +452,10 @@ class DataSpaces(StagingLibrary):
         plan = access_plan(region, self._partition, self.topology.server_actors)
         for server_index, sub in plan:
             nbytes = var.region_bytes(sub)
-            source_index = self._live_source(server_index)
+            if self.recovery is not None and not self.servers[server_index].node.alive:
+                source_index = yield from self._server_or_recover(server_index)
+            else:
+                source_index = self._live_source(server_index)
             yield from self._server_work(
                 source_index, self.topology.ana_scale, len(plan)
             )

@@ -165,6 +165,8 @@ class Decaf(StagingLibrary):
         self.graph.add_edge("simulation", "dflow", "count")
         self.graph.add_edge("dflow", "analytics", "count")
         self._staged_allocs: Dict[Tuple[int, int], List[object]] = {}
+        #: chaos: first version the termination token cancelled
+        self._terminated_version: Optional[int] = None
 
     #: "Decaf needs 40% more memory due to ... flattening and buffering"
     client_buffer_mult: float = cal.DECAF_CLIENT_BUFFER_MULT
@@ -278,6 +280,38 @@ class Decaf(StagingLibrary):
                         return None
         return ClusterPlan(sim_reps=a, ana_reps=b, server_reps=s, groups=g)
 
+    # ------------------------------------------------------ chaos hooks
+
+    def server_crash(self, server_index: int) -> None:
+        """A dflow rank dies inside the single MPI world.
+
+        Decaf wraps producer, dflow and consumer into one MPI job, so
+        a crashed dflow rank takes the whole workflow down with it
+        (MPI_Abort semantics) — no per-library recovery applies.
+        """
+        from ..hpc.failures import NodeFailure
+
+        raise NodeFailure(
+            f"decaf: dflow rank {server_index} died; MPI aborts the "
+            f"whole workflow world"
+        )
+
+    def rank_died(self, kind: str, actor: int) -> None:
+        """Propagate Decaf's termination token through the dataflow.
+
+        Everything up to the last fully published version is delivered;
+        later versions are cancelled cleanly on every rank instead of
+        deadlocking (the dataflow winds down, Section VI semantics).
+        """
+        super().rank_died(kind, actor)
+        if self.gate is None or self._terminated_version is not None:
+            return
+        terminated = self.gate.highest_published() + 1
+        self._terminated_version = terminated
+        self.versions_lost += max(0, self.steps - terminated)
+        self.recovery_events += 1
+        self.gate.release_all()
+
     # --------------------------------------------------------------- put
 
     def put(
@@ -297,6 +331,9 @@ class Decaf(StagingLibrary):
             total / self.topology.sim_scale / cal.DECAF_TRANSFORM_BW
         )
         yield from self.gate.writer_acquire(version)
+        if (self._terminated_version is not None
+                and version >= self._terminated_version):
+            return  # the termination token cancelled this version
 
         client = self.sim_endpoint(sim_actor)
         shares = count_redistribution(
@@ -344,6 +381,9 @@ class Decaf(StagingLibrary):
         var = self.variable
         start = self.env.now
         yield from self.gate.reader_wait(version)
+        if (self._terminated_version is not None
+                and version >= self._terminated_version):
+            return 0.0, None  # cancelled by the termination token
 
         client = self.ana_endpoint(ana_actor)
         total = var.region_bytes(region)

@@ -161,6 +161,45 @@ class Dimes(StagingLibrary):
     def _meta_server_of(self, version: int) -> int:
         return version % max(1, len(self.servers))
 
+    def rank_died(self, kind: str, actor: int) -> None:
+        """Chaos: DIMES stages *in simulation memory*, so a dead sim
+        rank takes its staged versions with it; readers waiting on the
+        gate are woken so they can discover the loss instead of
+        deadlocking silently."""
+        super().rank_died(kind, actor)
+        if self.gate is not None:
+            if kind == "sim":
+                self.gate.writer_left()
+            else:
+                self.gate.reader_left()
+
+    def server_crash(self, server_index: int) -> None:
+        """Chaos: kill a metadata server node.  Data is unaffected (it
+        lives in simulation memory), but every descriptor RPC routed to
+        the dead server stalls its client."""
+        self.servers[server_index % len(self.servers)].node.fail()
+
+    def _meta_or_abort(self, server_id: int) -> Generator:
+        """Process: a client RPC against a dead metadata server.
+
+        Unlike DataSpaces, DIMES clients run a detection timeout on
+        their metadata RPCs (the default ``timeout-abort`` policy), so
+        the workflow aborts with a diagnosable error instead of
+        stalling until the watchdog.
+        """
+        from ..hpc.failures import StagingServerCrashed
+
+        policy = self.recovery
+        if policy is None or policy.kind == "none":
+            yield self.env.event()  # no detection: block forever
+        if policy.timeout > 0:
+            self.recovery_events += 1
+            yield self.env.timeout(policy.timeout)
+        raise StagingServerCrashed(
+            f"dimes: metadata server {server_id} is unreachable; client "
+            f"RPC timed out after {policy.timeout:g} s"
+        )
+
     def _meta_work(self, scale: float):
         """Process: serialized descriptor handling at a metadata server.
 
@@ -207,6 +246,8 @@ class Dimes(StagingLibrary):
         # one bounding-box record per real producer, processed serially
         # by the server).
         server_id = self._meta_server_of(version)
+        if self.recovery is not None and not self.servers[server_id].node.alive:
+            yield from self._meta_or_abort(server_id)
         yield from self.dart.rpc(client, self.servers[server_id].endpoint)
         yield from self._meta_work(self.topology.sim_scale)
 
@@ -234,9 +275,28 @@ class Dimes(StagingLibrary):
         start = self.env.now
         yield from self.gate.reader_wait(version)
 
+        if self.dead_ranks:
+            owners = self._owners.get(version, [])
+            dead_owner = any(("sim", p) in self.dead_ranks for p, _ in owners)
+            if dead_owner or not self.global_store.covered(var, version, region):
+                from ..hpc.failures import DataLoss
+
+                policy = self.recovery
+                if policy is not None and policy.timeout > 0:
+                    # The configured detection timeout before giving up.
+                    self.recovery_events += 1
+                    yield self.env.timeout(policy.timeout)
+                self.versions_lost += max(0, self.steps - version)
+                raise DataLoss(
+                    f"dimes: version {version} was staged in the memory of "
+                    f"a dead simulation rank; nothing to recover from"
+                )
+
         # Resolve owners at the metadata server (round trip).
         client = self.ana_endpoint(ana_actor)
         server_id = self._meta_server_of(version)
+        if self.recovery is not None and not self.servers[server_id].node.alive:
+            yield from self._meta_or_abort(server_id)
         yield from self.dart.rpc(client, self.servers[server_id].endpoint)
         yield from self._meta_work(self.topology.ana_scale)
 

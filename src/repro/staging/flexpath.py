@@ -48,6 +48,8 @@ class Flexpath(StagingLibrary):
         self.evpath: Optional[EvpathManager] = None
         self._pub_stones: Dict[int, Stone] = {}
         self.notifications_delivered = 0
+        #: chaos: versions delivered with holes after a writer death
+        self._lost_versions: set = set()
 
     # ---------------------------------------------------------- lifecycle
 
@@ -88,6 +90,20 @@ class Flexpath(StagingLibrary):
     def _gate_window(self) -> int:
         # The publisher queue depth is the coupling window.
         return max(1, self.config.queue_size)
+
+    def rank_died(self, kind: str, actor: int) -> None:
+        """Serverless pub/sub detects peer EOF: the group shrinks.
+
+        A dead writer's subscribers see its EVPath connection close;
+        remaining publishes still become visible and readers drain what
+        was staged (Table IV: readers can outlive a dead writer).
+        """
+        super().rank_died(kind, actor)
+        if self.gate is not None:
+            if kind == "sim":
+                self.gate.writer_left()
+            else:
+                self.gate.reader_left()
 
     def validate_at_scale(self) -> None:
         topo = self.topology
@@ -174,17 +190,31 @@ class Flexpath(StagingLibrary):
         yield from self.gate.reader_wait(version)
 
         client = self.ana_endpoint(ana_actor)
+        moved = 0.0
         for writer_actor, owned in self._published.get(version, []):
             overlap = owned.intersect(region)
             if overlap is None:
                 continue
             writer = self.sim_endpoint(writer_actor)
+            nbytes = var.region_bytes(overlap)
             yield from self.transport.move(
-                writer, client, self._wire_bytes(var.region_bytes(overlap)),
+                writer, client, self._wire_bytes(nbytes),
                 src_registered=True, dst_registered=True,
             )
+            moved += nbytes
 
         total = var.region_bytes(region)
+        if self.dead_ranks and not self.global_store.covered(var, version, region):
+            # Drain semantics: deliver what the surviving writers
+            # staged, flag the hole, and keep consuming — the Table IV
+            # "reader outlives dead writer" behaviour.
+            if version not in self._lost_versions:
+                self._lost_versions.add(version)
+                self.versions_lost += 1
+                self.recovery_events += 1
+            self.gate.reader_done(version)
+            self._record_get(moved, self.env.now - start)
+            return moved, None
         data = self.global_store.assemble(var, version, region)
         self.gate.reader_done(version)
         self._record_get(total, self.env.now - start)

@@ -40,10 +40,40 @@ class MpiIo(StagingLibrary):
         self.stripe_count = stripe_count
         self.global_store = FragmentStore()
         self._handles: Dict[int, object] = {}
+        #: chaos: a writer rank died and must re-read its checkpoint
+        self._restart_pending = False
 
     def _gate_window(self) -> int:
         # Persistent storage holds every step: no version backpressure.
         return max(self.steps, 1)
+
+    # ------------------------------------------------------ chaos hooks
+
+    def rank_died(self, kind: str, actor: int) -> None:
+        """MPI-IO's unique advantage: every step persists on Lustre.
+
+        With the restart-from-file policy a dead writer simply restarts
+        and re-reads the last complete BP file — time overhead, zero
+        version loss (Table IV: the only method with a recovery path).
+        """
+        policy = self.recovery
+        if policy is not None and policy.kind == "restart-from-file" and kind == "sim":
+            self._restart_pending = True
+            return  # the rank comes back; not recorded as dead
+        super().rank_died(kind, actor)
+        if self.gate is not None and kind == "ana":
+            self.gate.reader_left()
+
+    def _restart_from_file(self) -> Generator:
+        """Process: the restarted writer re-reads its checkpoint slab."""
+        self._restart_pending = False
+        self.recovery_events += 1
+        last = self.gate.highest_published() if self.gate is not None else -1
+        yield from self._mds_ops(1.0)
+        handle = self._handles.get(last)
+        if handle is not None:
+            nbytes = int(self.variable.nbytes / max(1, self.topology.sim_actors))
+            yield self.env.process(self.cluster.lustre.read(handle, 0, nbytes))
 
     # --------------------------------------------------------------- put
 
@@ -64,6 +94,9 @@ class MpiIo(StagingLibrary):
         var = self.variable
         start = self.env.now
         total = var.region_bytes(region)
+
+        if self._restart_pending:
+            yield from self._restart_from_file()
 
         serialize = self._serialize_cost(total)
         if serialize > 0:

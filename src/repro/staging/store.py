@@ -151,17 +151,21 @@ class VersionGate:
         self._reader_count: Dict[int, int] = {}
         self._consumed = -1  # highest fully consumed version
         self._window_events: Dict[int, Event] = {}
+        #: chaos: once released, no waiter ever blocks again
+        self._released = False
 
     def _published_event(self, version: int) -> Event:
         event = self._published.get(version)
         if event is None:
             event = Event(self.env)
+            if self._released and not event.triggered:
+                event.succeed()
             self._published[version] = event
         return event
 
     def writer_acquire(self, version: int) -> Generator:
         """Process: block until ``version`` fits in the window."""
-        while version >= self._consumed + 1 + self.window:
+        while not self._released and version >= self._consumed + 1 + self.window:
             event = self._window_events.get(self._consumed)
             if event is None:
                 event = Event(self.env)
@@ -172,7 +176,9 @@ class VersionGate:
         """One writer finished staging ``version``."""
         count = self._publish_count.get(version, 0) + 1
         self._publish_count[version] = count
-        if count == self.num_writers:
+        # >= not ==: a writer death (writer_left) can shrink the group
+        # below counts already accumulated.
+        if count >= self.num_writers:
             event = self._published_event(version)
             if not event.triggered:
                 event.succeed()
@@ -189,7 +195,7 @@ class VersionGate:
         """One reader finished consuming ``version``."""
         count = self._reader_count.get(version, 0) + 1
         self._reader_count[version] = count
-        if count == self.num_readers:
+        if count >= self.num_readers:
             self._consumed = max(self._consumed, version)
             stale = self._window_events.pop(self._consumed - 1, None)
             if stale is not None and not stale.triggered:
@@ -201,3 +207,58 @@ class VersionGate:
     @property
     def consumed(self) -> int:
         return self._consumed
+
+    def highest_published(self) -> int:
+        """Highest fully published version so far (-1 if none)."""
+        published = [v for v, e in self._published.items() if e.triggered]
+        return max(published, default=-1)
+
+    # ------------------------------------------------------ chaos hooks
+
+    def writer_left(self) -> None:
+        """A writer died: shrink the group, re-check pending publishes.
+
+        Versions every *surviving* writer already published become
+        visible (Flexpath's serverless queues keep working); if no
+        writer remains, every waiter is released so readers can drain
+        what was staged and detect the EOF themselves.
+        """
+        self.num_writers -= 1
+        if self.num_writers <= 0:
+            self.release_all()
+            return
+        for version, event in list(self._published.items()):
+            if (not event.triggered
+                    and self._publish_count.get(version, 0) >= self.num_writers):
+                event.succeed()
+
+    def reader_left(self) -> None:
+        """A reader died: shrink the group, re-check consumption."""
+        self.num_readers -= 1
+        if self.num_readers <= 0:
+            self.release_all()
+            return
+        advanced = False
+        for version in sorted(self._reader_count):
+            if (version > self._consumed
+                    and self._reader_count[version] >= self.num_readers):
+                self._consumed = version
+                advanced = True
+        if advanced:
+            # Spurious wake-ups are safe: writer_acquire re-checks its
+            # window condition and blocks again if still outside it.
+            for event in list(self._window_events.values()):
+                if not event.triggered:
+                    event.succeed()
+            self._window_events.clear()
+
+    def release_all(self) -> None:
+        """Termination token: wake every current and future waiter."""
+        self._released = True
+        for event in self._published.values():
+            if not event.triggered:
+                event.succeed()
+        for event in self._window_events.values():
+            if not event.triggered:
+                event.succeed()
+        self._window_events.clear()

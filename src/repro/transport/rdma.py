@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, Generator, Tuple
 
 from ..hpc.cluster import Cluster
+from ..hpc.failures import CredentialRejected
 from .base import Endpoint, Transport
 
 
@@ -38,6 +39,9 @@ class RdmaTransport(Transport):
         self.name = api
         #: (job_id, node_id) -> credential, for DRC-gated interconnects
         self._credentials: Dict[Tuple[str, int], object] = {}
+        #: chaos: (backoff_seconds, max_retries) — retry transiently
+        #: rejected DRC requests instead of failing the workflow
+        self.credential_retry = None
 
     def _ensure_credential(self, endpoint: Endpoint) -> Generator:
         """Process: acquire a DRC credential if the machine requires it."""
@@ -47,12 +51,26 @@ class RdmaTransport(Transport):
         key = (endpoint.job_id, endpoint.node.node_id)
         if key in self._credentials:
             return
-        # NOTE: must stay a wrapped process, not ``yield from``: inlining
-        # would reorder concurrent credential requests racing for the
-        # single DRC server and shift every Cori timing.
-        credential = yield self.env.process(
-            drc.acquire(endpoint.job_id, endpoint.node.node_id)
-        )
+        attempts = 0
+        while True:
+            try:
+                # NOTE: must stay a wrapped process, not ``yield from``:
+                # inlining would reorder concurrent credential requests
+                # racing for the single DRC server and shift every Cori
+                # timing.
+                credential = yield self.env.process(
+                    drc.acquire(endpoint.job_id, endpoint.node.node_id)
+                )
+            except CredentialRejected:
+                if self.credential_retry is None:
+                    raise
+                backoff, max_retries = self.credential_retry
+                if attempts >= max_retries:
+                    raise
+                yield self.env.timeout(backoff * (2 ** attempts))
+                attempts += 1
+                continue
+            break
         self._credentials[key] = credential
 
     def setup(self, client: Endpoint, server: Endpoint) -> Generator:

@@ -82,6 +82,10 @@ class RunResult:
     server_memory_peaks: List[int] = field(default_factory=list)
     server_memory: Optional[TimeSeries] = None
     server_memory_breakdown: Dict[str, int] = field(default_factory=dict)
+    #: chaos accounting — versions analytics never received, and
+    #: recovery actions (restarts, reconnects, drains) taken
+    versions_lost: int = 0
+    recovery_events: int = 0
     library: Optional[StagingLibrary] = None
 
     @property
@@ -124,12 +128,20 @@ def run_coupled(
     app_axis: Optional[int] = None,
     trace: Optional[ActivityTrace] = None,
     fidelity: str = "exact",
+    fault_plan=None,
+    recovery=None,
 ) -> RunResult:
     """Run one coupled workflow configuration end to end.
 
     ``method=None`` runs the "simulation only"/"analytics only"
     baseline of Figure 2: pure compute, no staging.  Failures from the
     :mod:`repro.hpc.failures` taxonomy are captured in the result.
+
+    ``fault_plan`` (a :class:`repro.chaos.faults.FaultPlan`) injects
+    deterministic faults mid-run and bounds any resulting stall with a
+    watchdog; ``recovery`` (a :class:`repro.chaos.faults.RecoveryPolicy`)
+    overrides the library's default failure reaction.  Both are part of
+    the run-cache key, so chaos runs never collide with clean ones.
 
     ``fidelity="clustered"`` asks the run to simulate one
     representative actor per symmetry equivalence class instead of
@@ -167,6 +179,7 @@ def run_coupled(
             ana_step_seconds=ana_step,
             topology_overrides=topology_overrides, config=config,
             app_axis=axis, fidelity=fidelity,
+            fault_plan=fault_plan, recovery=recovery,
         )
 
     if _PLAN_RECORDER is not None:
@@ -183,6 +196,7 @@ def run_coupled(
                 sim_step_seconds=sim_step, ana_step_seconds=ana_step,
                 topology_overrides=topology_overrides, config=config,
                 app_axis=axis, fidelity=fidelity,
+                fault_plan=fault_plan, recovery=recovery,
             ),
         )
 
@@ -206,6 +220,7 @@ def run_coupled(
     env = Environment()
     cluster = Cluster(env, machine_spec)
 
+    library = None
     try:
         library = _build_library(
             method, cluster, nsim, nana, var, steps, transport,
@@ -214,10 +229,17 @@ def run_coupled(
         _execute(
             env, cluster, library, result, var, spec, sim_step, ana_step,
             steps, axis, nsim, nana, shared_nodes, topology_overrides,
-            trace, fidelity,
+            trace, fidelity, fault_plan, recovery,
         )
     except HpcError as exc:
         result.failure = f"{type(exc).__name__}: {exc}"
+        if fault_plan is not None:
+            # Chaos runs keep their partial accounting: how far the
+            # clock got and what the libraries managed to recover.
+            result.end_to_end = env.now
+            if library is not None:
+                result.versions_lost = library.versions_lost
+                result.recovery_events = library.recovery_events
 
     if cache_key is not None:
         from ..core import runcache
@@ -273,12 +295,28 @@ def _execute(
     steps, axis, nsim, nana, shared_nodes, topology_overrides,
     trace: Optional[ActivityTrace] = None,
     fidelity: str = "exact",
+    fault_plan=None,
+    recovery=None,
 ) -> None:
     machine = cluster.spec
 
     def mark(actor: str, activity: str, start: float) -> None:
         if trace is not None:
             trace.record(actor, activity, start, env.now)
+
+    if library is not None and fault_plan is not None:
+        from ..chaos.faults import DEFAULT_RECOVERY
+
+        library.recovery = (
+            recovery if recovery is not None
+            else DEFAULT_RECOVERY.get(library.name)
+        )
+        if (library.recovery is not None
+                and library.recovery.kind == "reconnect-backoff"
+                and hasattr(library.transport, "credential_retry")):
+            library.transport.credential_retry = (
+                library.recovery.backoff, library.recovery.max_retries
+            )
 
     if library is not None:
         topo = library.topology
@@ -309,7 +347,7 @@ def _execute(
     # disjoint.  Compute-only baselines have no interactions at all, so
     # one simulation and one analytics actor always suffice.
     plan: Optional[ClusterPlan] = None
-    if fidelity == "clustered" and trace is None:
+    if fidelity == "clustered" and trace is None and fault_plan is None:
         if library is None:
             plan = ClusterPlan(sim_reps=1, ana_reps=1, server_reps=0, groups=1)
         else:
@@ -361,6 +399,10 @@ def _execute(
                     "staging-lib",
                 )
         for step in range(steps):
+            if (library is not None and library.dead_ranks
+                    and ("sim", i) in library.dead_ranks):
+                mark(name, "fault", env.now)
+                break
             t0 = env.now
             yield env.timeout(machine.compute_time(sim_step))
             mark(name, "compute", t0)
@@ -389,6 +431,10 @@ def _execute(
         if library is not None:
             tracker.allocate(cal.CLIENT_LIB_BASE, "staging-lib")
         for step in range(steps):
+            if (library is not None and library.dead_ranks
+                    and ("ana", j) in library.dead_ranks):
+                mark(name, "fault", env.now)
+                break
             if library is not None:
                 buffer = tracker.allocate(
                     library.client_buffer_mult * bytes_per_ana_proc,
@@ -411,7 +457,30 @@ def _execute(
         yield env.all_of(procs)
 
     done = env.process(main(env))
-    env.run(until=done)
+    if fault_plan is not None:
+        from ..chaos.faults import FaultInjector
+        from ..hpc.failures import WorkflowHang
+
+        injector = FaultInjector(env, cluster, library, fault_plan, trace)
+        injector.start()
+        # The pending watchdog timeout also keeps the event queue alive
+        # when every actor blocks on a never-triggering event (the
+        # DataSpaces no-failure-detection stall).
+        watchdog = env.timeout(fault_plan.watchdog)
+        try:
+            env.run(until=env.any_of([done, watchdog]))
+        except HpcError:
+            mark("chaos", "aborted", env.now)
+            raise
+        if not done.triggered:
+            mark("chaos", "aborted", env.now)
+            raise WorkflowHang(
+                f"workflow did not finish within the {fault_plan.watchdog:g}"
+                f"-second watchdog after fault injection "
+                f"(injected: {injector.describe()})"
+            )
+    else:
+        env.run(until=done)
 
     result.end_to_end = env.now
     result.sim_finish = finish["sim"]
@@ -434,5 +503,7 @@ def _execute(
         if library.servers:
             result.server_memory = library.servers[0].memory.series
             result.server_memory_breakdown = library.servers[0].memory.breakdown()
+        result.versions_lost = library.versions_lost
+        result.recovery_events = library.recovery_events
         result.library = library
         library.shutdown()

@@ -19,6 +19,8 @@ GLYPHS = {
     "get": "G",
     "wait": ".",
     "init": "i",
+    "fault": "K",    # a chaos fault hit this actor (or was injected)
+    "aborted": "X",  # the actor died / the run was aborted here
 }
 
 
@@ -87,6 +89,41 @@ class ActivityTrace:
             if i.actor == actor and i.activity != "wait"
         )
         return busy / end
+
+    def to_chrome_trace(self) -> str:
+        """Serialize to Chrome's ``trace_event`` JSON format.
+
+        Load the string (saved as a ``.json`` file) in ``chrome://
+        tracing`` or https://ui.perfetto.dev to inspect the timeline
+        interactively.  Each actor becomes one named thread; every
+        interval becomes a complete ("X") duration event with
+        microsecond timestamps.  Zero-length intervals (fault markers)
+        are emitted as instant ("i") events so they stay visible.
+        """
+        import json
+
+        events = []
+        tids = {actor: tid for tid, actor in enumerate(self.actors())}
+        for actor, tid in tids.items():
+            events.append(
+                dict(
+                    name="thread_name", ph="M", pid=0, tid=tid,
+                    args=dict(name=actor),
+                )
+            )
+        for interval in self._intervals:
+            common = dict(
+                name=interval.activity,
+                cat="repro",
+                pid=0,
+                tid=tids[interval.actor],
+                ts=round(interval.start * 1e6, 3),
+            )
+            if interval.duration > 0:
+                events.append(dict(common, ph="X", dur=round(interval.duration * 1e6, 3)))
+            else:
+                events.append(dict(common, ph="i", s="t"))
+        return json.dumps(dict(traceEvents=events, displayTimeUnit="ms"), indent=1)
 
     def gantt(self, width: int = 72) -> str:
         """Render an ASCII timeline, one row per actor."""

@@ -1,0 +1,132 @@
+"""Campaign determinism and the committed chaos goldens."""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos import build_campaign, campaign
+from repro.chaos.campaign import BLAST, CHAOS_LIBRARIES
+from repro.chaos.faults import FAULT_KINDS
+from repro.core import runcache
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "results")
+
+OUTCOMES = {"completed", "degraded", "aborted", "hung-then-aborted"}
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    runcache.clear()
+    yield
+    runcache.clear()
+
+
+def _golden(name):
+    path = os.path.join(RESULTS_DIR, name)
+    assert os.path.exists(path), f"missing golden {name}; run python -m repro chaos"
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestBuildCampaign:
+    def test_pure_in_the_seed(self):
+        assert build_campaign(7) == build_campaign(7)
+        assert build_campaign(7) != build_campaign(8)
+
+    def test_sweeps_every_fault_for_every_library(self):
+        cells = build_campaign(7)
+        combos = {(c["fault"], c["library"]) for c in cells}
+        assert combos == {
+            (fault, lib) for fault in FAULT_KINDS for lib in CHAOS_LIBRARIES
+        }
+
+    def test_plan_is_shared_across_a_fault_row(self):
+        cells = build_campaign(7)
+        for fault in FAULT_KINDS:
+            plans = {id(c["plan"]) for c in cells if c["fault"] == fault}
+            assert len(plans) == 1
+
+
+class TestCommittedGoldens:
+    """Structural invariants of the committed seed-7 matrix."""
+
+    def test_matrix_covers_the_full_sweep(self):
+        rows = _golden("chaos_matrix.json")["rows"]
+        combos = {(r["fault"], r["library"]) for r in rows}
+        assert len({f for f, _ in combos}) >= 4
+        for fault in FAULT_KINDS:
+            assert {l for f, l in combos if f == fault} == set(CHAOS_LIBRARIES)
+
+    def test_outcomes_use_the_closed_vocabulary(self):
+        rows = _golden("chaos_matrix.json")["rows"]
+        assert {r["outcome"] for r in rows} <= OUTCOMES
+
+    def test_paper_semantics_hold_in_the_goldens(self):
+        rows = {
+            (r["fault"], r["library"]): r
+            for r in _golden("chaos_matrix.json")["rows"]
+        }
+        assert rows[("server_crash", "dataspaces")]["outcome"] == "hung-then-aborted"
+        assert rows[("server_crash", "flexpath")]["outcome"] == "completed"
+        mpiio = rows[("rank_death", "mpiio")]
+        assert mpiio["outcome"] == "completed"
+        assert mpiio["versions_lost"] == 0 and mpiio["recovery_events"] >= 1
+        assert rows[("rank_death", "flexpath")]["outcome"] == "degraded"
+        assert rows[("drc_reject", "dataspaces")]["failure"] == "CredentialRejected"
+        assert rows[("drc_reject", "flexpath")]["outcome"] == "completed"
+
+    def test_blast_table_is_consistent_with_the_matrix(self):
+        matrix = {
+            (r["fault"], r["library"]): r["outcome"]
+            for r in _golden("chaos_matrix.json")["rows"]
+        }
+        for row in _golden("chaos_blast.json")["rows"]:
+            worst = "none"
+            order = ("none", "partial", "workflow")
+            for library in CHAOS_LIBRARIES:
+                assert row[library] == matrix[(row["fault"], library)]
+                category = BLAST[row[library]]
+                if order.index(category) > order.index(worst):
+                    worst = category
+            assert row["blast_radius"] == worst
+
+
+class TestChaosFindings:
+    def test_every_chaos_finding_verifies(self):
+        from repro.core.findings import CHAOS_FINDINGS
+
+        assert len(CHAOS_FINDINGS) >= 2
+        for finding in CHAOS_FINDINGS:
+            assert finding.verify(), f"chaos finding {finding.number} failed"
+
+    def test_table_v_still_renders_the_papers_eight(self):
+        from repro.core.findings import FINDINGS, table5_findings
+
+        assert len(FINDINGS) == 8
+        assert len(table5_findings().rows) == 8
+
+
+class TestDeterminismAcrossJobs:
+    def test_serial_and_parallel_exports_are_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        # A smaller cell keeps the worker-pool round affordable; the
+        # determinism claim is scale-independent.
+        monkeypatch.setattr(
+            campaign, "CELL",
+            dict(
+                workflow="lammps", nsim=4, nana=2, steps=3,
+                topology_overrides=dict(
+                    sim_ranks_per_node=1, ana_ranks_per_node=1
+                ),
+            ),
+        )
+        campaign.run_campaign(seed=11, jobs=1, export_dir=str(tmp_path / "serial"))
+        runcache.clear()
+        campaign.run_campaign(seed=11, jobs=2, export_dir=str(tmp_path / "pool"))
+        for name in ("chaos_matrix.csv", "chaos_matrix.json",
+                     "chaos_blast.csv", "chaos_blast.json"):
+            serial = (tmp_path / "serial" / name).read_bytes()
+            pool = (tmp_path / "pool" / name).read_bytes()
+            assert serial == pool, f"{name} differs between job counts"

@@ -15,7 +15,14 @@ optimizations move.  Modes:
   dedup counts per job level (plus the host's CPU count, without which
   the numbers are meaningless);
 * ``--chaos``      — the seed-7 fault-injection campaign (``python -m
-  repro chaos``): wall-clock and event count of all 35 chaos points.
+  repro chaos``): wall-clock and event count of all 35 chaos points;
+* ``--gate PATH``  — the CI perf gate: re-measure the ``--full``
+  figures and exit non-zero if either regresses more than 25 % in wall
+  time against the committed baseline at ``PATH``.
+
+Schema 2 adds ``events_per_second`` per figure — the
+machine-independent throughput number (wall seconds vary with the
+host; events are deterministic).
 
 The run cache is cleared before every experiment so timings measure
 simulation, not memoization.  Results merge into the output JSON, so
@@ -114,6 +121,38 @@ def chaos_bench(seed: int = 7) -> Dict[str, object]:
     }
 
 
+#: CI fails when a gated figure's wall time exceeds baseline by this
+GATE_TOLERANCE = 0.25
+GATED_FIGURES = ("fig2a_full", "fig2b_full")
+
+
+def perf_gate(baseline_path: str, measured: Dict[str, Dict]) -> int:
+    """Compare measured figure wall times against the committed baseline.
+
+    Returns the number of regressions beyond :data:`GATE_TOLERANCE`.
+    A missing baseline figure is a hard failure too — the gate must
+    never pass vacuously.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh).get("figures", {})
+    failures = 0
+    for ident in GATED_FIGURES:
+        if ident not in baseline:
+            print(f"GATE FAIL {ident}: no baseline in {baseline_path}")
+            failures += 1
+            continue
+        base = baseline[ident]["seconds"]
+        now = measured[ident]["seconds"]
+        ratio = now / base if base > 0 else float("inf")
+        verdict = "ok" if ratio <= 1.0 + GATE_TOLERANCE else "GATE FAIL"
+        print(f"{verdict:9s} {ident}: {now:.2f}s vs baseline {base:.2f}s "
+              f"({ratio:.0%} of baseline, tolerance "
+              f"{1.0 + GATE_TOLERANCE:.0%})")
+        if ratio > 1.0 + GATE_TOLERANCE:
+            failures += 1
+    return failures
+
+
 def _merge_existing(path: str, report: Dict) -> Dict:
     """Keep the other mode's sections when refreshing one of them."""
     try:
@@ -138,11 +177,15 @@ def main(argv=None) -> int:
                        help="the whole campaign at jobs=1/2/4")
     group.add_argument("--chaos", action="store_true",
                        help="the seed-7 fault-injection campaign")
+    group.add_argument("--gate", metavar="BASELINE",
+                       help="CI perf gate: rerun the --full figures and "
+                            "fail on a >25%% wall-time regression vs the "
+                            "committed BASELINE json")
     parser.add_argument("-o", "--output", default="BENCH_study.json",
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
 
-    report: Dict[str, object] = {"schema": 1, "cpus": os.cpu_count()}
+    report: Dict[str, object] = {"schema": 2, "cpus": os.cpu_count()}
     if args.jobs_sweep:
         report["mode"] = "jobs-sweep"
         report["jobs_sweep"] = jobs_sweep()
@@ -152,7 +195,10 @@ def main(argv=None) -> int:
         report["chaos"] = chaos_bench()
         total = report["chaos"]["seconds"]
     else:
-        mode = "smoke" if args.smoke else ("full" if args.full else "study")
+        if args.gate:
+            mode = "full"
+        else:
+            mode = "smoke" if args.smoke else ("full" if args.full else "study")
         report["mode"] = mode
         report["figures"] = {}
         total = 0.0
@@ -166,6 +212,8 @@ def main(argv=None) -> int:
             report["figures"][ident] = {
                 "seconds": round(elapsed, 3),
                 "events": counter.count,
+                "events_per_second": round(counter.count / elapsed, 1)
+                if elapsed > 0 else 0.0,
             }
             print(f"{ident:12s} {elapsed:8.2f} s  {counter.count:>12,} events")
     report["total_seconds"] = round(total, 3)
@@ -175,6 +223,8 @@ def main(argv=None) -> int:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"\ntotal {total:.2f} s -> {args.output}")
+    if args.gate:
+        return 1 if perf_gate(args.gate, report["figures"]) else 0
     return 0
 
 

@@ -67,7 +67,10 @@ def fig2_end_to_end(
     )
     for machine in machines:
         for nsim, nana in scales:
-            baseline = run_coupled(machine, workflow, None, nsim=nsim, nana=nana, steps=steps)
+            baseline = run_coupled(
+                machine, workflow, None, nsim=nsim, nana=nana, steps=steps,
+                fidelity="steady+clustered",
+            )
             row: Dict[str, object] = {
                 "machine": machine,
                 "scale": f"({nsim},{nana})",
@@ -76,7 +79,8 @@ def fig2_end_to_end(
             }
             for method in methods:
                 result = run_coupled(
-                    machine, workflow, method, nsim=nsim, nana=nana, steps=steps
+                    machine, workflow, method, nsim=nsim, nana=nana, steps=steps,
+                    fidelity="steady+clustered",
                 )
                 if (
                     not result.ok
@@ -90,12 +94,14 @@ def fig2_end_to_end(
                         result = run_coupled(
                             machine, workflow, method, nsim=nsim, nana=nana,
                             steps=steps, num_servers=max(1, nana // 4),
+                            fidelity="steady+clustered",
                         )
                     elif method.startswith("dimes"):
                         result = run_coupled(
                             machine, workflow, method, nsim=nsim, nana=nana,
                             steps=steps,
                             topology_overrides=dict(sim_ranks_per_node=8),
+                            fidelity="steady+clustered",
                         )
                     if result.ok:
                         table.note(
@@ -141,6 +147,7 @@ def fig3_problem_size(
                 nsim=nsim, nana=nana, steps=steps, variable=var,
                 sim_step_seconds=laplace_sim_step_for_size(size),
                 ana_step_seconds=laplace_ana_step_for_size(size),
+                fidelity="steady+clustered",
             )
             result = run_coupled("titan", "laplace", method, **kwargs)
             if not result.ok and remediate and "OutOfRdma" in result.failure:
@@ -506,6 +513,7 @@ def fig11_decaf_servers(
             # Pack 2 dflow ranks per node so the 8-server point fits in
             # Titan's 32 GB nodes despite the 7x data expansion.
             topology_overrides=dict(servers_per_node=2),
+            fidelity="steady+clustered",
         )
         table.add(
             servers=count,
@@ -550,6 +558,7 @@ def fig12_dataspaces_servers(
             num_servers=count, transport="tcp", variable=var,
             sim_step_seconds=laplace_sim_step_for_size(bytes_per_proc),
             ana_step_seconds=laplace_ana_step_for_size(bytes_per_proc),
+            fidelity="steady+clustered",
         )
         e2e_gain = staging_gain = None
         if result.ok and prev is not None:

@@ -50,7 +50,9 @@ import tempfile
 from typing import Any, Dict, Optional
 
 #: bump when simulation semantics change so stale disk entries miss
-SCHEMA_VERSION = 3
+#: (3 -> 4: event times quantized to the 2^-32 s tick grid for the
+#: steady-state fast-forward; pre-grid cached timings are stale)
+SCHEMA_VERSION = 4
 
 
 def _canonical(value: Any) -> Any:

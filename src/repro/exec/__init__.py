@@ -88,7 +88,7 @@ def execute_parallel(
         for key, outcome in outcomes.items():
             if outcome.result is not None:
                 runcache.CACHE.seed(key, outcome.result)
-        report.absorb(round_no, plan, outcomes)
+        report.absorb(round_no, plan, outcomes, batch_sizes=pool.batch_sizes)
     report.wall_seconds = time.monotonic() - start
     if report_path:
         report.write(report_path)

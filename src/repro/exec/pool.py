@@ -7,13 +7,20 @@ state leaks between the parent and its children.  Tasks travel as
 canonical ``run_coupled`` kwargs (machines and workflows by name);
 results come back as library-stripped :class:`RunResult` objects.
 
-Scheduling is parent-driven, one in-flight task per worker over a
-dedicated pipe, which makes crash attribution exact: when a worker's
-process sentinel fires with a task assigned, that task crashed with
-it.  Crashed (or exception-raising) tasks are retried with bounded
-exponential backoff on a replacement worker; a task that keeps failing
-is **quarantined** — recorded and skipped — instead of killing the
-campaign (the serial replay computes quarantined points in-process).
+Scheduling is parent-driven over a dedicated pipe per worker.  Long
+tasks ship one at a time; *short* tasks (estimated cost below
+:data:`BATCH_COST_THRESHOLD`, from the planned variable's byte size)
+ship in batches of up to :data:`BATCH_MAX` per round-trip, so the
+parent<->worker hand-off latency stops dominating plans full of cheap
+points (the ``--jobs 2`` slower than ``--jobs 1`` pathology).  Workers
+answer one message per task in batch order, so crash attribution stays
+exact: when a worker's process sentinel fires, the batch's first
+unanswered task crashed with it and the never-started remainder goes
+back to the queue without an attempt charged.  Crashed (or
+exception-raising) tasks are retried with bounded exponential backoff
+on a replacement worker; a task that keeps failing is **quarantined**
+— recorded and skipped — instead of killing the campaign (the serial
+replay computes quarantined points in-process).
 
 If ``cache_dir`` is set, every worker attaches the shared on-disk run
 cache; its writes are concurrency-safe (unique temp file + atomic
@@ -36,6 +43,29 @@ from .plan import PlannedTask
 
 #: exit code of a deliberately crashed (poison-marker) worker
 _CRASH_EXIT = 13
+
+#: a task whose ``variable_nbytes * steps`` estimate falls below this
+#: ships batched with its queue neighbours (the pool's round-trip
+#: overhead is fixed per message, so cheap simulations amortize it)
+BATCH_COST_THRESHOLD = float(10 * (1 << 30))
+
+#: upper bound on tasks per batch, so one worker never hoards the tail
+#: of the queue while others idle
+BATCH_MAX = 8
+
+
+def _task_cost(task: PlannedTask) -> float:
+    """Estimated simulation cost: staged bytes over the whole run.
+
+    The planned spec carries the resolved variable (the weak-scaled
+    default already grows with ``nsim``), so its byte size times the
+    step count tracks how much data the simulated run moves — the best
+    single predictor of its wall time.  Specs without a variable
+    (compute-only baselines) are the cheapest points there are.
+    """
+    variable = task.spec.get("variable")
+    nbytes = getattr(variable, "nbytes", 0) or 0
+    return float(nbytes) * task.spec.get("steps", 1)
 
 
 @dataclass
@@ -85,36 +115,41 @@ def _execute_spec(spec: Dict[str, Any], attempt: int):
 
 
 def _worker_main(conn, cache_dir: Optional[str]) -> None:
-    """Worker loop: receive (task_id, spec, attempt), send the outcome."""
+    """Worker loop: receive a batch of (task_id, spec, attempt) entries.
+
+    One outcome message goes back per entry, in batch order — the
+    parent relies on that order for crash attribution.
+    """
     from ..core import runcache
 
     if cache_dir:
         runcache.enable_disk(cache_dir)
     while True:
         try:
-            msg = conn.recv()
+            batch = conn.recv()
         except EOFError:
             return
-        if msg is None:
+        if batch is None:
             return
-        task_id, spec, attempt = msg
-        start = time.perf_counter()
-        try:
-            result, cache_hit = _execute_spec(spec, attempt)
-            conn.send(
-                ("ok", task_id, result, time.perf_counter() - start, cache_hit, None)
-            )
-        except Exception:
-            conn.send(
-                (
-                    "error",
-                    task_id,
-                    None,
-                    time.perf_counter() - start,
-                    False,
-                    traceback.format_exc(),
+        for task_id, spec, attempt in batch:
+            start = time.perf_counter()
+            try:
+                result, cache_hit = _execute_spec(spec, attempt)
+                conn.send(
+                    ("ok", task_id, result, time.perf_counter() - start,
+                     cache_hit, None)
                 )
-            )
+            except Exception:
+                conn.send(
+                    (
+                        "error",
+                        task_id,
+                        None,
+                        time.perf_counter() - start,
+                        False,
+                        traceback.format_exc(),
+                    )
+                )
 
 
 @dataclass
@@ -122,8 +157,9 @@ class _Worker:
     ident: int
     proc: multiprocessing.Process
     conn: Any
-    #: (task, attempt) currently assigned, or None when idle
-    busy: Optional[tuple] = None
+    #: [(task, attempt), ...] currently assigned in ship order, or None
+    #: when idle; the worker answers them front to back
+    busy: Optional[List[tuple]] = None
 
 
 @dataclass
@@ -138,6 +174,11 @@ class WorkerPool:
     backoff_cap: float = 4.0
     #: called with a progress event dict after every task resolution
     progress: Optional[Callable[[Dict[str, Any]], None]] = None
+    #: short-task batching knobs (see module docstring)
+    batch_cost_threshold: float = BATCH_COST_THRESHOLD
+    batch_max: int = BATCH_MAX
+    #: size of every batch shipped during the last :meth:`run`
+    batch_sizes: List[int] = field(default_factory=list)
     _next_worker_id: int = field(default=0, repr=False)
 
     def run(self, tasks: Sequence[PlannedTask]) -> Dict[str, TaskOutcome]:
@@ -147,6 +188,7 @@ class WorkerPool:
         }
         if not tasks:
             return outcomes
+        self.batch_sizes = []
         ctx = multiprocessing.get_context("spawn")
         pending = deque((t, 1) for t in tasks)  # (task, attempt number)
         delayed: List[tuple] = []  # (ready_at, task, attempt)
@@ -190,13 +232,23 @@ class WorkerPool:
                 return
             if worker.busy is not None or not worker.proc.is_alive():
                 continue
-            task, attempt = pending[0]
+            # A long task ships alone; consecutive short tasks ship
+            # together (the plan is sorted big-first, so the cheap tail
+            # batches naturally).
+            batch = [pending[0]]
+            if _task_cost(pending[0][0]) < self.batch_cost_threshold:
+                for entry in list(pending)[1:self.batch_max]:
+                    if _task_cost(entry[0]) >= self.batch_cost_threshold:
+                        break
+                    batch.append(entry)
             try:
-                worker.conn.send((task.key, task.spec, attempt))
+                worker.conn.send([(t.key, t.spec, a) for t, a in batch])
             except (BrokenPipeError, OSError):
                 continue  # the sentinel poll below reaps this worker
-            pending.popleft()
-            worker.busy = (task, attempt)
+            for _ in batch:
+                pending.popleft()
+            worker.busy = list(batch)
+            self.batch_sizes.append(len(batch))
 
     def _poll(
         self, workers, pending, delayed, outcomes, ctx, timeout: float
@@ -235,8 +287,14 @@ class WorkerPool:
 
     def _finish(self, worker: _Worker, message, delayed, outcomes) -> int:
         status, task_id, result, seconds, cache_hit, error = message
-        task, attempt = worker.busy
-        worker.busy = None
+        # The worker answers its batch front to back; tolerate gaps
+        # defensively by matching on the task id.
+        index = next(
+            (i for i, (t, _) in enumerate(worker.busy) if t.key == task_id), 0
+        )
+        task, attempt = worker.busy.pop(index)
+        if not worker.busy:
+            worker.busy = None
         outcome = outcomes[task_id]
         outcome.attempts = attempt
         outcome.seconds += seconds
@@ -266,7 +324,10 @@ class WorkerPool:
         worker.conn.close()
         worker.proc.join(timeout=1.0)
         if worker.busy is not None:
-            task, attempt = worker.busy
+            # The batch's first unanswered task is the one that crashed;
+            # the rest never started, so they re-queue with no attempt
+            # charged.
+            (task, attempt), rest = worker.busy[0], worker.busy[1:]
             worker.busy = None
             outcome = outcomes[task.key]
             outcome.attempts = attempt
@@ -277,6 +338,7 @@ class WorkerPool:
             resolved += self._retry_or_quarantine(
                 task, attempt, delayed, outcomes, worker
             )
+            pending.extendleft(reversed(rest))
         unresolved = sum(1 for o in outcomes.values() if o.status == "pending")
         if unresolved > len(workers):
             workers.append(self._spawn(ctx))

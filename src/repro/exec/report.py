@@ -14,7 +14,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, TextIO
 
-SCHEMA = 1
+#: 1 -> 2: rounds gained ``batch_sizes`` (the dispatch-batching record)
+SCHEMA = 2
 
 
 class ProgressPrinter:
@@ -59,7 +60,13 @@ class RunReport:
     tasks: List[Dict[str, Any]] = field(default_factory=list)
     wall_seconds: float = 0.0
 
-    def absorb(self, round_no: int, plan, outcomes: Dict[str, Any]) -> None:
+    def absorb(
+        self,
+        round_no: int,
+        plan,
+        outcomes: Dict[str, Any],
+        batch_sizes: Optional[List[int]] = None,
+    ) -> None:
         """Fold one planning round + its pool outcomes into the report."""
         self.rounds.append(
             dict(
@@ -70,6 +77,7 @@ class RunReport:
                 deduped_refs=plan.deduped_refs,
                 unplanned=plan.unplanned,
                 plan_errors=dict(plan.errors),
+                batch_sizes=list(batch_sizes or []),
             )
         )
         for outcome in outcomes.values():

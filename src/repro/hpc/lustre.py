@@ -55,9 +55,22 @@ class LustreFilesystem:
         ]
         self._mds = Resource(env, capacity=spec.num_mds)
         self._next_ost = 0
+        self._rates_frozen = False
         self.bytes_written = 0
         self.bytes_read = 0
         self.files_created = 0
+
+    def freeze_rates(self) -> None:
+        """Promise no OST is ever degraded: bursts become arithmetic.
+
+        The driver calls this for every run without a fault plan — the
+        OST pipes then resolve whole request bursts to one completion
+        time per OST without creating any events (see
+        :meth:`BandwidthPipe.enqueue_runs_end`).
+        """
+        self._rates_frozen = True
+        for ost in self._osts:
+            ost.freeze_rate()
 
     def degrade_ost(self, index: int, factor: float) -> None:
         """Chaos: slow one OST down by ``factor`` (``inf`` = failed)."""
@@ -87,55 +100,106 @@ class LustreFilesystem:
         return LustreFile(self, path, stripe_count, stripe_size, first_ost)
 
     def _stripe_transfers(self, handle: LustreFile, offset: int, nbytes: int):
-        """Split a contiguous request into (ost, bytes) pieces."""
+        """Split a contiguous request into per-OST runs of pieces.
+
+        Returns ``[(ost, [(piece_bytes, count), ...]), ...]`` — the
+        pieces a contiguous request puts on each OST, run-length
+        encoded.  Grouping per OST (keeping first-touch order) is
+        timing-exact, not an approximation: one request enqueues *all*
+        its pieces on the FIFO OST pipes at the same instant, so its
+        pieces occupy each OST back to back and one holder can
+        serialize them without changing any grant order.  The pieces
+        are kept distinct (runs, not sums) so the per-piece transfer
+        times accumulate with the same floating-point additions as
+        individually queued pieces.
+
+        The run-length form is computed arithmetically: a request is a
+        partial first piece, a block of full stripes dealt round-robin
+        across ``stripe_count`` OSTs, and a partial last piece — there
+        is no need to walk it stripe by stripe.
+        """
         stripe = handle.stripe_size
-        pos = offset
-        remaining = nbytes
-        # Group the request's pieces per OST (keeping first-touch
-        # order).  This is timing-exact, not an approximation: one
-        # request enqueues *all* its pieces on the FIFO OST pipes at the
-        # same instant, so its pieces occupy each OST back to back and
-        # one holder can serialize them without changing any grant
-        # order.  The pieces are kept separate (not summed) so the
-        # per-piece transfer times accumulate with the same
-        # floating-point additions as individually queued pieces.
+        count = handle.stripe_count
+        num_osts = self.spec.num_osts
+
+        def ost_of(stripe_index: int) -> int:
+            return (handle.first_ost + stripe_index % count) % num_osts
+
+        if nbytes <= 0:
+            return []
+        end = offset + nbytes
+        first_index = offset // stripe
+        last_index = (end - 1) // stripe  # inclusive
         grouped: dict = {}
-        while remaining > 0:
-            stripe_index = pos // stripe
-            ost = (handle.first_ost + stripe_index % handle.stripe_count) % self.spec.num_osts
-            in_stripe = stripe - (pos % stripe)
-            chunk = min(remaining, in_stripe)
-            bucket = grouped.get(ost)
-            if bucket is None:
-                grouped[ost] = [chunk]
+
+        def add(ost: int, piece: int, n: int) -> None:
+            runs = grouped.get(ost)
+            if runs is not None and runs[-1][0] == piece:
+                runs[-1][1] += n
+            elif runs is None:
+                grouped[ost] = [[piece, n]]
             else:
-                bucket.append(chunk)
-            pos += chunk
-            remaining -= chunk
-        return list(grouped.items())
+                runs.append([piece, n])
+
+        if first_index == last_index:
+            add(ost_of(first_index), nbytes, 1)
+            return [(o, [tuple(r) for r in runs]) for o, runs in grouped.items()]
+
+        head = stripe - (offset % stripe)  # partial (or full) first piece
+        add(ost_of(first_index), head, 1)
+        # Full stripes between the first and last piece, dealt in
+        # stripe-index order: OST k gets one per round-robin cycle.
+        full_lo, full_hi = first_index + 1, last_index  # [lo, hi)
+        n_full = full_hi - full_lo
+        if n_full > 0:
+            if n_full >= count:
+                base, extra = divmod(n_full, count)
+                for j in range(count):
+                    add(ost_of(full_lo + j), stripe, base + (1 if j < extra else 0))
+            else:
+                for j in range(n_full):
+                    add(ost_of(full_lo + j), stripe, 1)
+        tail = end - last_index * stripe  # partial (or full) last piece
+        add(ost_of(last_index), tail, 1)
+        return [(o, [tuple(r) for r in runs]) for o, runs in grouped.items()]
+
+    def _transfer(self, handle: LustreFile, offset: int, nbytes: int) -> Generator:
+        """Process: push one contiguous request through the OST pipes.
+
+        Frozen-rate runs resolve each OST burst arithmetically and wait
+        once for the latest completion time; otherwise every burst gets
+        a chained completion event and the request waits on all of them
+        — same timestamps either way.
+        """
+        if self._rates_frozen:
+            osts = self._osts
+            end = 0.0
+            for ost, runs in self._stripe_transfers(handle, offset, nbytes):
+                t = osts[ost].enqueue_runs_end(runs)
+                if t > end:
+                    end = t
+            if end > 0.0:
+                yield self.env.timeout_at(end)
+            return
+        transfers = [
+            self._osts[ost].enqueue_runs(runs)
+            for ost, runs in self._stripe_transfers(handle, offset, nbytes)
+        ]
+        if transfers:
+            yield self.env.all_of(transfers)
 
     def write(self, handle: LustreFile, offset: int, nbytes: int) -> Generator:
         """Process: write ``nbytes`` at ``offset`` through the OST pipes."""
         if nbytes < 0:
             raise ValueError(f"negative write size {nbytes}")
-        transfers = [
-            self.env.process(self._osts[ost].transmit_many(chunks))
-            for ost, chunks in self._stripe_transfers(handle, offset, nbytes)
-        ]
-        if transfers:
-            yield self.env.all_of(transfers)
+        yield from self._transfer(handle, offset, nbytes)
         self.bytes_written += nbytes
 
     def read(self, handle: LustreFile, offset: int, nbytes: int) -> Generator:
         """Process: read ``nbytes`` at ``offset`` through the OST pipes."""
         if nbytes < 0:
             raise ValueError(f"negative read size {nbytes}")
-        transfers = [
-            self.env.process(self._osts[ost].transmit_many(chunks))
-            for ost, chunks in self._stripe_transfers(handle, offset, nbytes)
-        ]
-        if transfers:
-            yield self.env.all_of(transfers)
+        yield from self._transfer(handle, offset, nbytes)
         self.bytes_read += nbytes
 
     @property

@@ -10,9 +10,11 @@ serialize — exactly the effect behind the paper's N-to-1 findings
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
 from ..sim import Environment, Resource
+from ..sim.engine import quantize
+from ..sim.events import Event
 
 
 class BandwidthPipe:
@@ -28,6 +30,20 @@ class BandwidthPipe:
         self.bytes_moved = 0.0
         self.busy_time = 0.0
         self._nominal_rate = self.rate
+        self._chain_tail: Optional[Event] = None
+        self._chain_pending = 0
+        self._chain_end = 0.0
+        self._rate_frozen = False
+
+    def freeze_rate(self) -> None:
+        """Promise the rate never changes for the rest of the run.
+
+        Unlocks :meth:`enqueue_runs_end`, the eventless arithmetic form
+        of the burst chain; :meth:`degrade` refuses afterwards.  The
+        driver freezes the Lustre pipes of every run without a fault
+        plan — the only mechanism that can change an OST rate mid-run.
+        """
+        self._rate_frozen = True
 
     def degrade(self, factor: float) -> None:
         """Cut the pipe's rate by ``factor`` (chaos: transport fault).
@@ -38,11 +54,25 @@ class BandwidthPipe:
         """
         if factor <= 0:
             raise ValueError(f"degrade factor must be positive, got {factor}")
+        if self._rate_frozen:
+            raise RuntimeError(f"pipe {self.name!r} rate is frozen")
         self.rate = self._nominal_rate / factor
 
     def restore(self) -> None:
         """Undo :meth:`degrade`."""
         self.rate = self._nominal_rate
+
+    def steady_state(self) -> tuple:
+        """Occupancy + waiters — the pipe's boundary fingerprint.
+
+        The arithmetic chain's state is its end time *relative to now*
+        (both on the scheduling grid, so the subtraction is exact and
+        translation-invariant).
+        """
+        rel_end = self._chain_end - self.env.now
+        if rel_end < 0.0:
+            rel_end = 0.0
+        return self._res.steady_state() + (self._chain_pending, rel_end)
 
     @property
     def queue_length(self) -> int:
@@ -70,23 +100,105 @@ class BandwidthPipe:
         Timing-identical to consecutive :meth:`transmit` calls enqueued
         at one instant — the FIFO pipe serves them contiguously anyway —
         but holds the pipe once and sleeps once: a burst of N chunks
-        costs a single absolute-time timeout instead of N full
-        request/grant/release cycles.  The end time accumulates chunk
-        by chunk with exactly the same floating-point additions as
-        separate calls, so the wake-up instant is bit-identical.
+        costs a single timeout instead of N full request/grant/release
+        cycles.  The total duration accumulates chunk by chunk *without*
+        touching the absolute clock, so the burst length is a pure
+        function of the chunk sizes — step-invariant, which the
+        steady-state fast-forward relies on.
         """
         with self._res.request() as req:
             yield req
-            # Accumulate the end time chunk by chunk — the same float
-            # additions a chain of timeout events would perform — then
-            # sleep once until that instant.
-            end = self.env.now
+            total = 0.0
             for nbytes in chunks:
                 duration = self.transfer_time(nbytes)
-                end += duration
+                total += duration
                 self.bytes_moved += nbytes
                 self.busy_time += duration
-            yield self.env.timeout_at(end)
+            yield self.env.timeout(total)
+
+    def enqueue_runs(self, runs) -> Event:
+        """FIFO-queue a burst of run-length chunks; its completion event.
+
+        ``runs`` is ``[(nbytes, count), ...]``.  Timing- and
+        stats-identical to a process transmitting the expanded chunk
+        list through the pipe's FIFO: the burst starts when every
+        earlier burst has completed, holds the pipe for the chunk-wise
+        accumulated duration, and each stats accumulator still receives
+        one addition *per chunk* in the same order — repeated float
+        addition has no closed form, and bit-identity with the
+        piece-by-piece path is the point.  What this drops is the
+        process/request/grant machinery: one completion event per burst
+        instead of a process kick-off, a grant, a timeout and a process
+        termination.
+
+        Bursts queued here form their own FIFO chain; do not mix with
+        :meth:`transmit`/:meth:`transmit_many` on the same pipe.  The
+        rate is read when the burst *starts* (matching the grant-time
+        read of the process path), so :meth:`degrade` only affects
+        bursts granted afterwards.
+        """
+        env = self.env
+        done = Event(env)
+        self._chain_pending += 1
+
+        def _complete(_ev: Event) -> None:
+            self._chain_pending -= 1
+
+        done.callbacks.append(_complete)
+
+        def _start(_ev: Event = None) -> None:
+            total = 0.0
+            moved = self.bytes_moved
+            busy = self.busy_time
+            rate = self.rate
+            for nbytes, count in runs:
+                duration = nbytes / rate
+                for _ in range(count):
+                    total += duration
+                    moved += nbytes
+                    busy += duration
+            self.bytes_moved = moved
+            self.busy_time = busy
+            done._ok = True
+            done._value = None
+            env.schedule(done, total)
+
+        prev = self._chain_tail
+        self._chain_tail = done
+        if prev is None or prev.processed:
+            _start()
+        else:
+            prev.callbacks.append(_start)
+        return done
+
+    def enqueue_runs_end(self, runs) -> float:
+        """Arithmetic :meth:`enqueue_runs`: the absolute completion time.
+
+        Valid only after :meth:`freeze_rate` — with the rate constant,
+        the burst-start rate read is the enqueue-time rate read, so the
+        whole FIFO chain collapses into one float per pipe (its end
+        time) and the burst needs *no events at all*.  Same duration
+        accumulation (one addition per chunk, in order), same
+        ``max(chain end, now) + quantize(total)`` completion arithmetic
+        as the event chain, therefore bit-identical timestamps.
+        """
+        total = 0.0
+        moved = self.bytes_moved
+        busy = self.busy_time
+        rate = self.rate
+        for nbytes, count in runs:
+            duration = nbytes / rate
+            for _ in range(count):
+                total += duration
+                moved += nbytes
+                busy += duration
+        self.bytes_moved = moved
+        self.busy_time = busy
+        now = self.env.now
+        start = self._chain_end if self._chain_end > now else now
+        end = start + quantize(total)
+        self._chain_end = end
+        return end
 
 
 class Link:

@@ -17,6 +17,36 @@ from .process import Process
 
 Infinity = float("inf")
 
+#: scheduling-grid resolution: every event delay is snapped to a multiple
+#: of 2**-TICK_BITS simulated seconds before it is added to the clock.
+#: With 32 fractional bits, any timestamp below 2**20 seconds (~12 days,
+#: far beyond any run here) uses at most 52 significand bits, so *every*
+#: clock addition and subtraction in the simulator is exact in IEEE-754
+#: double — no rounding, ever.  That exactness is what makes the
+#: steady-state fast-forward's delta replay bit-identical: translating a
+#: step pattern by a grid-multiple Δ is a float identity, not an
+#: approximation.  The grid is ~0.2 ns, four orders of magnitude below
+#: the smallest modeled latency.
+TICK_BITS = 32
+_TICK_SCALE = float(1 << TICK_BITS)
+_TICK = 1.0 / _TICK_SCALE
+
+#: timestamps must stay below this bound for grid arithmetic to be
+#: exact (2**(53 - TICK_BITS) seconds); the steady-state controller
+#: checks it before fast-forwarding.
+EXACT_TIME_LIMIT = float(1 << (53 - TICK_BITS)) / 2.0
+
+
+def quantize(seconds: float) -> float:
+    """Snap a duration onto the scheduling grid (see :data:`TICK_BITS`).
+
+    Zero, negatives (rejected later by :class:`Timeout`), infinity and
+    NaN pass through unchanged.
+    """
+    if seconds > 0.0 and seconds != Infinity:
+        return round(seconds * _TICK_SCALE) * _TICK
+    return seconds
+
 
 class EmptySchedule(Exception):
     """Raised internally when the event queue runs dry."""
@@ -41,7 +71,14 @@ class Environment:
         return self._now
 
     def schedule(self, event: Event, delay: float = 0.0) -> None:
-        """Queue ``event`` to be processed ``delay`` seconds from now."""
+        """Queue ``event`` to be processed ``delay`` seconds from now.
+
+        The delay is snapped onto the scheduling grid (see
+        :data:`TICK_BITS`) so every timestamp in the queue is a grid
+        multiple and clock arithmetic stays exact.
+        """
+        if delay > 0.0 and delay != Infinity:
+            delay = round(delay * _TICK_SCALE) * _TICK
         heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
 
     def process(self, generator: Generator) -> Process:
@@ -56,15 +93,21 @@ class Environment:
         """An event that triggers at the absolute time ``when``.
 
         Lets a hot path collapse a run of consecutive delays into one
-        event: the caller accumulates the end time with the same float
-        additions a timeout chain would perform, then schedules once.
+        event: the caller accumulates the end time, then schedules once.
+        ``when == now`` is accepted (an accumulated end lands exactly on
+        ``now`` after a run of zero-duration chunks); only a strictly
+        past time is an error.  The offset from ``now`` is snapped onto
+        the scheduling grid like every other delay.
         """
-        if when < self._now:
+        offset = when - self._now
+        if offset < 0.0:
             raise ValueError(f"timeout_at({when}) is in the past (now={self._now})")
+        if offset > 0.0 and offset != Infinity:
+            offset = round(offset * _TICK_SCALE) * _TICK
         event = Event(self)
         event._ok = True
         event._value = value
-        heapq.heappush(self._queue, (when, next(self._eid), event))
+        heapq.heappush(self._queue, (self._now + offset, next(self._eid), event))
         return event
 
     def event(self) -> Event:
@@ -92,6 +135,23 @@ class Environment:
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""
         return self._queue[0][0] if self._queue else Infinity
+
+    def steady_snapshot(self) -> tuple:
+        """The pending-event multiset, as times relative to ``now``.
+
+        Part of the steady-state boundary fingerprint: two step
+        boundaries with identical snapshots have the same in-flight
+        timeouts at the same phase offsets, which (together with the
+        resource-queue and library state) pins the dynamical state of
+        the simulation modulo a clock translation.  Pure observation:
+        no event is created or consumed, so taking a snapshot never
+        perturbs event-id tie-breaking.
+        """
+        now = self._now
+        return tuple(sorted(
+            (t - now) if t != Infinity else Infinity
+            for t, _, _ in self._queue
+        ))
 
     def step(self) -> None:
         """Process the next scheduled event."""

@@ -69,6 +69,10 @@ class Resource:
         """Number of requests waiting for a slot."""
         return len(self._waiting)
 
+    def steady_state(self) -> tuple:
+        """(slots in use, waiters) — the resource's boundary fingerprint."""
+        return (len(self._users), len(self._waiting))
+
     def request(self) -> Request:
         """Claim a slot; the returned event triggers once granted."""
         return Request(self)

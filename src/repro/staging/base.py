@@ -144,6 +144,31 @@ class ClusterPlan:
 
 
 @dataclass(frozen=True)
+class SteadyPlan:
+    """Eligibility certificate for the steady-state fast-forward.
+
+    Returned by :meth:`StagingLibrary.steady_plan` when the library's
+    structural checks certify that, past a warm-up prefix, no *hidden*
+    aperiodic state can influence step timing or the exported results —
+    so two consecutive step boundaries whose full observable
+    fingerprints match (modulo one clock translation Δ) prove the orbit
+    repeats forever and the remaining steps can be replayed as exact
+    translates.
+
+    ``warmup`` is the number of leading steps excluded from fingerprint
+    matching: step 0 pays bootstrap, first-touch allocation and the
+    version-gate fill, and libraries with a deeper pipeline (version
+    eviction, publisher queues) extend it to cover their transient.
+    """
+
+    warmup: int = 1
+
+    def __post_init__(self) -> None:
+        if self.warmup < 1:
+            raise ValueError("warmup must cover at least step 0")
+
+
+@dataclass(frozen=True)
 class StagingConfig:
     """Build and runtime options (Table I of the paper)."""
 
@@ -239,6 +264,11 @@ class StagingLibrary:
         #: how many exact-run actors each statistics record stands for
         #: (the clustered fidelity mode sets this to the group count)
         self.stats_replicas: int = 1
+        #: steady-state fast-forward tap: when a list, every
+        #: ``_record_put``/``_record_get`` call appends its raw
+        #: arguments here so the driver can replay the exact addition
+        #: sequence for skipped steps (None = zero-cost off)
+        self._steady_tap: Optional[list] = None
         self._sim_endpoints: Dict[int, Endpoint] = {}
         self._ana_endpoints: Dict[int, Endpoint] = {}
         self._client_trackers: Dict[Tuple[str, int], MemoryTracker] = {}
@@ -373,6 +403,48 @@ class StagingLibrary:
         """
         return None
 
+    # ----------------------------------------------- steady fast-forward
+
+    def steady_plan(self) -> Optional["SteadyPlan"]:
+        """Certify eligibility for the steady-state fast-forward, or None.
+
+        Analogous to :meth:`clustering_plan`, but in time instead of
+        space: a returned :class:`SteadyPlan` asserts that past its
+        ``warmup`` prefix the library holds no hidden state that could
+        change step timing or exported results aperiodically — every
+        version-keyed behaviour (eviction, queue recycling, metadata
+        placement) either repeats each step or is observationally inert.
+        The default is conservative: no certificate, no fast-forward.
+
+        The certificate is necessary but not sufficient: the driver
+        still requires two consecutive step boundaries to match in the
+        full observable fingerprint (phase marks, stats records, event
+        queue, gate window, resource queues, memory samples) modulo one
+        exact clock translation before it stops simulating.
+        """
+        return None
+
+    def steady_state(self, step: int) -> tuple:
+        """The library's boundary fingerprint at the end of ``step``.
+
+        Everything version- or time-keyed is normalized so that a steady
+        orbit yields the identical tuple at consecutive boundaries.
+        Subclasses extend this with their own resources (server CPUs,
+        metadata queues); the base covers the version gate, per-server
+        memory occupancy/peaks and chaos counters.
+        """
+        gate_state = self.gate.steady_state(step) if self.gate is not None else ()
+        return (
+            gate_state,
+            tuple(
+                (s.memory.total, s.memory.peak,
+                 tuple(sorted(s.memory.breakdown().items())))
+                for s in self.servers
+            ),
+            self.versions_lost,
+            self.recovery_events,
+        )
+
     def _placed_nodes(self, component: str) -> List[int]:
         """Node ids of a placed component, without booting the nodes."""
         return [loc.node_id for loc in self.placement.locations(component)]
@@ -466,6 +538,8 @@ class StagingLibrary:
         # actors record identical values back to back in the exact run,
         # and only repeating the same float additions reproduces those
         # sums bit for bit.
+        if self._steady_tap is not None:
+            self._steady_tap.append(("put", nbytes, elapsed))
         for _ in range(self.stats_replicas):
             self.stats.bytes_staged += nbytes
             self.stats.put_time += elapsed
@@ -475,6 +549,8 @@ class StagingLibrary:
                 watcher(self.stats.puts)
 
     def _record_get(self, nbytes: float, elapsed: float) -> None:
+        if self._steady_tap is not None:
+            self._steady_tap.append(("get", nbytes, elapsed))
         for _ in range(self.stats_replicas):
             self.stats.bytes_retrieved += nbytes
             self.stats.get_time += elapsed

@@ -38,7 +38,7 @@ from ..hpc.units import fmt_bytes
 from ..sim import Resource
 from ..transport import RdmaTransport, TcpTransport
 from . import calibration as cal
-from .base import ClusterPlan, StagingLibrary
+from .base import ClusterPlan, StagingLibrary, SteadyPlan
 from .dart import DartInstance
 from .decomposition import (
     access_plan,
@@ -206,6 +206,29 @@ class DataSpaces(StagingLibrary):
                 f"{self.config.buffer_factor} buffering + "
                 f"{fmt_bytes(index_bytes)} SFC index"
             )
+
+    # ----------------------------------------------- steady fast-forward
+
+    def steady_plan(self):
+        """Eligible: DataSpaces' behaviour is version-periodic.
+
+        The put of version ``v`` evicts ``v - max_versions`` from the
+        same (layout-determined) servers, the DHT index insert pattern
+        is identical every step, and the lock service holds only
+        window-relative state — so after the window fills (plus the
+        first-touch RDMA/DRC warm-up of step 0) every step repeats the
+        previous one shifted by one version.
+        """
+        return SteadyPlan(warmup=max(1, self.config.max_versions) + 1)
+
+    def steady_state(self, step):
+        lock_state = ()
+        if self.locks is not None:
+            lock_state = self.locks.steady_state()
+        return super().steady_state(step) + (
+            tuple(cpu.steady_state() for cpu in self._server_cpu),
+            lock_state,
+        )
 
     # ------------------------------------------------------- clustering
 

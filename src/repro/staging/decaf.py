@@ -36,7 +36,7 @@ import numpy as np
 from ..hpc.failures import OutOfMemory, SchedulerPolicyViolation
 from ..hpc.units import fmt_bytes
 from . import calibration as cal
-from .base import ClusterPlan, StagingConfig, StagingLibrary
+from .base import ClusterPlan, StagingConfig, StagingLibrary, SteadyPlan
 from .decomposition import uniform_regions
 from .ndarray import Region
 from .store import FragmentStore
@@ -211,6 +211,19 @@ class Decaf(StagingLibrary):
                 f"{topo.servers_per_node}/node) > "
                 f"{fmt_bytes(node_spec.ram_bytes)} RAM"
             )
+
+    # ----------------------------------------------- steady fast-forward
+
+    def steady_plan(self):
+        """Eligible: the pipelined dflow is version-periodic.
+
+        Every step pushes one version through the same producer → dflow
+        → consumer redistribution with the same counts; dflow buffers
+        are recycled one window later, and MPI messaging holds no
+        first-touch caches (no DRC credentials, no socket pools) beyond
+        the bootstrap.  Warm-up covers the pipeline fill.
+        """
+        return SteadyPlan(warmup=max(1, self.config.max_versions) + 1)
 
     # ------------------------------------------------------- clustering
 

@@ -36,7 +36,7 @@ from ..hpc.units import fmt_bytes
 from ..sim import Resource
 from ..transport import RdmaTransport, TcpTransport
 from . import calibration as cal
-from .base import StagingLibrary
+from .base import StagingLibrary, SteadyPlan
 from .dart import DartInstance
 from .decomposition import access_plan, application_decomposition, staging_partition
 from .ndarray import Region
@@ -155,6 +155,35 @@ class Dimes(StagingLibrary):
                     f"each DIMES metadata server needs {per_server_fds} "
                     f"socket descriptors (> {node_spec.max_sockets})"
                 )
+
+    # ----------------------------------------------- steady fast-forward
+
+    def steady_plan(self):
+        """Eligible only when the metadata rotation is timing-inert.
+
+        :meth:`_meta_server_of` routes each version's descriptor RPCs to
+        server ``version % nservers`` — hidden state with period
+        ``nservers`` that a single fingerprint pair cannot see.  It is
+        certified harmless only when every client is equidistant from
+        every metadata server (the RPC then costs the same wherever it
+        lands); otherwise decline.  The warm-up must also cover one full
+        rotation so per-server first-touch costs (DRC credentials,
+        connection setup) are all paid before fingerprint pairs count.
+        """
+        nservers = max(1, self.topology.server_actors)
+        if nservers > 1:
+            server_nodes = self._placed_nodes("servers")
+            for component in ("simulation", "analytics"):
+                for node in self._placed_nodes(component):
+                    hops = {self._chain_hops(node, s) for s in server_nodes}
+                    if len(hops) > 1:
+                        return None
+        warmup = max(nservers, max(1, self.config.max_versions)) + 1
+        return SteadyPlan(warmup=warmup)
+
+    def steady_state(self, step):
+        meta = self._meta_cpu.steady_state() if self._meta_cpu is not None else ()
+        return super().steady_state(step) + (meta,)
 
     # --------------------------------------------------------------- put
 

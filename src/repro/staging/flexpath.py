@@ -27,7 +27,7 @@ from ..hpc.failures import DrcOverload, OutOfMemory
 from ..hpc.units import fmt_bytes
 from ..transport import RdmaTransport
 from . import calibration as cal
-from .base import StagingLibrary
+from .base import StagingLibrary, SteadyPlan
 from .evpath import EvpathManager, Stone
 from .ndarray import Region
 from .store import FragmentStore
@@ -90,6 +90,19 @@ class Flexpath(StagingLibrary):
     def _gate_window(self) -> int:
         # The publisher queue depth is the coupling window.
         return max(1, self.config.queue_size)
+
+    # ----------------------------------------------- steady fast-forward
+
+    def steady_plan(self):
+        """Eligible: serverless pub/sub recycles everything per version.
+
+        Publisher-queue slots are freed exactly ``queue_size`` versions
+        later, the EVPath notification fan-out touches every
+        writer→reader edge each step (so all connection state is warm
+        after step 0), and readers pull from the same overlapping
+        writers every version.  Warm-up covers the queue fill.
+        """
+        return SteadyPlan(warmup=max(1, self.config.queue_size) + 1)
 
     def rank_died(self, kind: str, actor: int) -> None:
         """Serverless pub/sub detects peer EOF: the group shrinks.

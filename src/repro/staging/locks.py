@@ -123,6 +123,17 @@ class LockService:
             self._locks[name] = lock
         return lock
 
+    def steady_state(self) -> tuple:
+        """Per-lock occupancy — part of the steady boundary fingerprint.
+
+        The gate's window state is fingerprinted separately; here only
+        the type-1 reader/writer locks carry state of their own.
+        """
+        return tuple(sorted(
+            (name, lk.readers, lk.write_locked, len(lk._waiting))
+            for name, lk in self._locks.items()
+        ))
+
     def lock_on_write(self, name: str, version: int) -> Generator:
         """Process: what ds_lock_on_write does under each lock_type."""
         self.acquires += 1

@@ -23,7 +23,7 @@ from typing import Dict, Generator, Optional
 import numpy as np
 
 from . import calibration as cal
-from .base import StagingLibrary
+from .base import StagingLibrary, SteadyPlan
 from .ndarray import Region
 from .store import FragmentStore
 
@@ -46,6 +46,34 @@ class MpiIo(StagingLibrary):
     def _gate_window(self) -> int:
         # Persistent storage holds every step: no version backpressure.
         return max(self.steps, 1)
+
+    # ----------------------------------------------- steady fast-forward
+
+    def steady_plan(self):
+        """Eligible only when the Lustre OST cursor repeats every step.
+
+        Each step's file open advances the round-robin cursor by the
+        effective stripe count modulo ``num_osts`` — hidden state a
+        fingerprint pair cannot see unless the advance is zero (i.e.
+        ``stripe_count=-1`` or any multiple of the OST pool, so every
+        version lands on the same OSTs).  Otherwise decline.
+        """
+        fs = self.cluster.lustre
+        num_osts = fs.spec.num_osts
+        eff = self.stripe_count
+        if eff == -1 or eff > num_osts:
+            eff = num_osts
+        if eff % num_osts != 0:
+            return None
+        return SteadyPlan(warmup=2)
+
+    def steady_state(self, step):
+        fs = self.cluster.lustre
+        return super().steady_state(step) + (
+            fs._next_ost,
+            fs._mds.steady_state(),
+            tuple(ost.steady_state() for ost in fs._osts),
+        )
 
     # ------------------------------------------------------ chaos hooks
 

@@ -208,6 +208,36 @@ class VersionGate:
     def consumed(self) -> int:
         return self._consumed
 
+    def steady_state(self, step: int) -> tuple:
+        """The window's state normalized to ``step`` (boundary fingerprint).
+
+        In a steady orbit the gate advances by exactly one version per
+        step, so every version-keyed quantity is constant once expressed
+        relative to the step counter.  Only versions still inside the
+        active window matter; fully consumed history is dropped (its
+        bookkeeping never blocks anyone again).
+        """
+        return (
+            self.window,
+            self.num_writers,
+            self.num_readers,
+            self._consumed - step,
+            self._released,
+            tuple(sorted(
+                (v - step, c) for v, c in self._publish_count.items()
+                if v > self._consumed
+            )),
+            tuple(sorted(
+                (v - step, c) for v, c in self._reader_count.items()
+                if v > self._consumed
+            )),
+            tuple(sorted(
+                (v - step, e.triggered)
+                for v, e in self._published.items() if v > self._consumed
+            )),
+            tuple(sorted(v - step for v in self._window_events)),
+        )
+
     def highest_published(self) -> int:
         """Highest fully published version so far (-1 if none)."""
         published = [v for v, e in self._published.items() if e.triggered]

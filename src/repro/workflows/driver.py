@@ -20,6 +20,7 @@ from ..hpc.cluster import Cluster
 from ..hpc.failures import HpcError
 from ..hpc.machines import MachineSpec, get_machine
 from ..sim import Environment, TimeSeries
+from ..sim.engine import EXACT_TIME_LIMIT
 from ..staging import calibration as cal
 from ..staging.base import ClusterPlan, StagingLibrary
 from ..staging.decomposition import application_decomposition
@@ -50,6 +51,321 @@ def set_plan_recorder(recorder):
     return previous
 
 
+class _SteadyDiverged(Exception):
+    """A confirmed steady orbit failed replay-time verification.
+
+    Raised after the event loop returns when the boundary pair ending at
+    the cutoff step no longer matches the engagement pair — the
+    fast-forward would not have been bit-identical.  :func:`run_coupled`
+    catches it and reruns the configuration without the fast-forward, so
+    a false engagement can only ever cost time, never correctness.
+    """
+
+
+class _SteadyController:
+    """Temporal memoization of the staged coupled step loop.
+
+    Every actor reports its per-step phase end times; when all actors
+    have completed step ``s`` the controller fingerprints the boundary:
+    the pending-event queue (relative times), the library's normalized
+    state (gate window, server memory, per-library resources), the
+    put/get record stream and memory-series sample windows, and the
+    client memory totals.  When two consecutive boundary fingerprints
+    match modulo one clock translation Δ — every actor's phase times
+    shifted by the *same* exact float Δ — the orbit provably repeats
+    (all delays sit on the 2^-32 s tick grid, where translation by a
+    grid multiple is an exact float identity below
+    :data:`~repro.sim.engine.EXACT_TIME_LIMIT`).  The controller then
+    stops the actors one step past the furthest actor's progress and
+    the remaining iterations are replayed as exact translates.
+    """
+
+    def __init__(self, env, library, steps, warmup, n_actors,
+                 series_fn, trackers):
+        self.env = env
+        self.library = library
+        self.steps = steps
+        self.warmup = warmup
+        self.n_actors = n_actors
+        #: lazily resolved: server series only exist after bootstrap
+        self._series_fn = series_fn
+        self.series = None
+        self.trackers = trackers
+        self.phases: Dict[str, list] = {}     # actor -> phase tuple per step
+        self.done: Dict[int, int] = {}        # step -> actors completed
+        self.boundaries: Dict[int, dict] = {}
+        self.cutoff: Optional[int] = None
+        self.delta: Optional[float] = None
+        self.confirm: Optional[int] = None    # step s of the matched pair (s-1, s)
+        self.fail: Optional[str] = None       # permanent decline reason
+
+    @property
+    def engaged(self) -> bool:
+        return self.cutoff is not None
+
+    def stop(self, actor: str, step: int) -> bool:
+        """Polled at the top of each actor step: past the cutoff?"""
+        return self.cutoff is not None and step > self.cutoff
+
+    def record(self, actor: str, step: int, phases: tuple) -> None:
+        """An actor completed ``step``; its phase end times in order."""
+        self.phases.setdefault(actor, []).append(phases)
+        n = self.done.get(step, 0) + 1
+        self.done[step] = n
+        if n == self.n_actors and self.fail is None:
+            self._close(step)
+
+    def _capture(self, step: int) -> dict:
+        if self.series is None:
+            self.series = self._series_fn()
+        return dict(
+            close=self.env.now,
+            snapshot=self.env.steady_snapshot(),
+            state=self.library.steady_state(step),
+            totals=tuple(t.total for t in self.trackers),
+            tap=len(self.library._steady_tap),
+            series=tuple(len(s) for s in self.series),
+        )
+
+    def _close(self, step: int) -> None:
+        self.boundaries[step] = self._capture(step)
+        if self.cutoff is not None or step < self.warmup:
+            return
+        delta = self._match(step - 1, step)
+        if delta is None:
+            return
+        # Pipelined actors may already be inside later steps (the gate
+        # window lets writers run ahead); everyone stops before the
+        # first step no actor has begun, so every live step closes.
+        cutoff = max(self.done) + 1
+        if cutoff > self.steps - 2:
+            self.fail = "steady: orbit confirmed too late to skip any step"
+            return
+        if self.env.now + (self.steps - cutoff) * delta >= EXACT_TIME_LIMIT:
+            self.fail = ("steady: fast-forward horizon exceeds the "
+                         "exact-arithmetic window")
+            return
+        self.confirm = step
+        self.delta = delta
+        self.cutoff = cutoff
+
+    def _match(self, a: int, b: int, strict: bool = True) -> Optional[float]:
+        """Δ if boundary ``b`` is boundary ``a`` translated, else None.
+
+        ``strict`` additionally compares the pending-event queue, the
+        library state and client memory totals — valid only while every
+        actor is still live.  Replay-time verification runs non-strict:
+        past the cutoff the controller itself emptied the queue, but a
+        matching record stream then *proves* the post-engagement window
+        equals the periodic one (nothing the exact run would interleave
+        there is missing), which is exactly what the replay tiles.
+        """
+        fpa = self.boundaries.get(a)
+        fpb = self.boundaries.get(b)
+        if fpa is None or fpb is None:
+            return None
+        delta = fpb["close"] - fpa["close"]
+        if delta <= 0.0:
+            return None
+        # One global Δ across every actor and phase: per-actor periods
+        # that merely pair up per actor still drift relative to each
+        # other and eventually collide at shared resources.
+        for plist in self.phases.values():
+            if len(plist) <= b:
+                return None
+            pa, pb = plist[a], plist[b]
+            if len(pa) != len(pb):
+                return None
+            for ta, tb in zip(pa, pb):
+                if ta + delta != tb:
+                    return None
+        if strict and (fpa["snapshot"] != fpb["snapshot"]
+                       or fpa["state"] != fpb["state"]
+                       or fpa["totals"] != fpb["totals"]):
+            return None
+        # The put/get record window and the tracked memory-series
+        # windows must repeat verbatim (values) and translate (times).
+        tap = self.library._steady_tap
+        j0 = self.boundaries[a - 1]["tap"] if a > 0 else 0
+        j1, j2 = fpa["tap"], fpb["tap"]
+        if j1 - j0 != j2 - j1 or tap[j0:j1] != tap[j1:j2]:
+            return None
+        for k, s_obj in enumerate(self.series):
+            i0 = self.boundaries[a - 1]["series"][k] if a > 0 else 0
+            i1 = fpa["series"][k]
+            i2 = fpb["series"][k]
+            if i1 - i0 != i2 - i1:
+                return None
+            times, values = s_obj._times, s_obj._values
+            for off in range(i1 - i0):
+                if (times[i0 + off] + delta != times[i1 + off]
+                        or values[i0 + off] != values[i1 + off]):
+                    return None
+        return delta
+
+    def _phase_delta(self, a: int, b: int) -> Optional[float]:
+        """Δ from phase translation alone (no window comparisons)."""
+        fpa = self.boundaries.get(a)
+        fpb = self.boundaries.get(b)
+        if fpa is None or fpb is None:
+            return None
+        delta = fpb["close"] - fpa["close"]
+        if delta <= 0.0:
+            return None
+        for plist in self.phases.values():
+            if len(plist) <= b or len(plist[a]) != len(plist[b]):
+                return None
+            for ta, tb in zip(plist[a], plist[b]):
+                if ta + delta != tb:
+                    return None
+        return delta
+
+    def finalize(self, finish: dict, library) -> float:
+        """Replay the skipped steps; returns the end-to-end time.
+
+        The stopped run is isomorphic to an exact run of ``cutoff + 1``
+        steps: its last window lacks exactly the spill-over of steps it
+        never began, the same truncation the exact run's *final* window
+        has.  So verification demands full periodic windows for the
+        boundary pairs up to ``cutoff - 1`` and a per-stream *prefix* of
+        the periodic window at the cutoff, and the replay appends, per
+        stream: the rest of the cutoff window, ``skipped - 1`` full
+        periodic windows, and the final partial window — reproducing
+        the exact run's addition/sample order fold for fold.  Everything
+        translates by multiples of Δ accumulated additively; all values
+        sit on the tick grid, where that arithmetic is exact.
+        """
+        for b in range(self.confirm + 1, self.cutoff):
+            if self._match(b - 1, b, strict=False) != self.delta:
+                raise _SteadyDiverged(
+                    f"boundary {b} diverged from the orbit confirmed at "
+                    f"step {self.confirm}"
+                )
+        if self._phase_delta(self.cutoff - 1, self.cutoff) != self.delta:
+            raise _SteadyDiverged(
+                f"cutoff boundary {self.cutoff} left the orbit confirmed "
+                f"at step {self.confirm}"
+            )
+        skipped = self.steps - 1 - self.cutoff
+        delta = self.delta
+        # Statistics: put and get records feed disjoint accumulators,
+        # so each kind's stream replays independently in its own exact
+        # order (through _record_*, so stats_replicas composes with the
+        # clustered fidelity).
+        tap = library._steady_tap
+        j0 = self.boundaries[self.cutoff - 2]["tap"]
+        j1 = self.boundaries[self.cutoff - 1]["tap"]
+        j2 = self.boundaries[self.cutoff]["tap"]
+        library._steady_tap = None
+        for kind, record in (("put", library._record_put),
+                             ("get", library._record_get)):
+            full = [r for r in tap[j0:j1] if r[0] == kind]
+            part = [r for r in tap[j1:j2] if r[0] == kind]
+            if part != full[:len(part)]:
+                raise _SteadyDiverged(
+                    f"{kind}-record stream at the cutoff is not a prefix "
+                    f"of the periodic window"
+                )
+            stream = full[len(part):] + full * (skipped - 1) + full[:len(part)]
+            for _, nbytes, elapsed in stream:
+                record(nbytes, elapsed)
+        # Memory series: same shape, with timestamps translated.
+        for k, s_obj in enumerate(self.series):
+            i0 = self.boundaries[self.cutoff - 2]["series"][k]
+            i1 = self.boundaries[self.cutoff - 1]["series"][k]
+            i2 = self.boundaries[self.cutoff]["series"][k]
+            times, values = s_obj._times, s_obj._values
+            part_n = i2 - i1
+            if part_n > i1 - i0:
+                raise _SteadyDiverged(
+                    f"series {k} cutoff window exceeds the periodic window"
+                )
+            for off in range(part_n):
+                if (times[i0 + off] + delta != times[i1 + off]
+                        or values[i0 + off] != values[i1 + off]):
+                    raise _SteadyDiverged(
+                        f"series {k} cutoff window is not a prefix of the "
+                        f"periodic window"
+                    )
+            w_times = times[i0:i1]
+            w_values = values[i0:i1]
+            offset = delta
+            for t, v in zip(w_times[part_n:], w_values[part_n:]):
+                s_obj.record(t + offset, v)
+            for _ in range(skipped - 1):
+                offset += delta
+                for t, v in zip(w_times, w_values):
+                    s_obj.record(t + offset, v)
+            offset += delta
+            for t, v in zip(w_times[:part_n], w_values[:part_n]):
+                s_obj.record(t + offset, v)
+        # Per-actor completion: repeated additions of Δ, never n·Δ.
+        finish["sim"] = finish["ana"] = 0.0
+        for actor, plist in self.phases.items():
+            t = plist[self.cutoff][-1]
+            for _ in range(skipped):
+                t += delta
+            key = "sim" if actor.startswith("sim") else "ana"
+            finish[key] = max(finish[key], t)
+        return max(finish["sim"], finish["ana"])
+
+
+class _IndependentSteady:
+    """Per-actor fast-forward for compute-only runs.
+
+    Without a staging library the actors share nothing: each loop is a
+    fixed compute timeout, so an actor's own period — two consecutive
+    equal step durations past the warm-up — proves its orbit without a
+    global cut, and sim/ana may fast-forward with different Δs.
+    """
+
+    fail: Optional[str] = None
+
+    def __init__(self, steps: int, warmup: int = 1) -> None:
+        self.steps = steps
+        self.warmup = warmup
+        self.ends: Dict[str, list] = {}
+        self.cutoffs: Dict[str, int] = {}
+        self.deltas: Dict[str, float] = {}
+        self.engaged = False
+
+    def stop(self, actor: str, step: int) -> bool:
+        cutoff = self.cutoffs.get(actor)
+        return cutoff is not None and step > cutoff
+
+    def record(self, actor: str, step: int, phases: tuple) -> None:
+        ends = self.ends.setdefault(actor, [])
+        ends.append(phases[-1])
+        if actor in self.cutoffs or step < self.warmup + 1:
+            return
+        d1 = ends[step] - ends[step - 1]
+        d0 = ends[step - 1] - ends[step - 2]
+        if d1 != d0 or d1 <= 0.0 or step + 1 > self.steps - 2:
+            return
+        if ends[step] + (self.steps - step) * d1 >= EXACT_TIME_LIMIT:
+            return
+        self.cutoffs[actor] = step + 1
+        self.deltas[actor] = d1
+        self.engaged = True
+
+    def finalize(self, finish: dict, library) -> float:
+        finish["sim"] = finish["ana"] = 0.0
+        for actor, ends in self.ends.items():
+            cutoff = self.cutoffs.get(actor)
+            if cutoff is None:
+                t = ends[-1]
+            else:
+                delta = self.deltas[actor]
+                if len(ends) <= cutoff or ends[cutoff] - ends[cutoff - 1] != delta:
+                    raise _SteadyDiverged(f"{actor} period drifted after confirmation")
+                t = ends[cutoff]
+                for _ in range(self.steps - 1 - cutoff):
+                    t += delta
+            key = "sim" if actor.startswith("sim") else "ana"
+            finish[key] = max(finish[key], t)
+        return max(finish["sim"], finish["ana"])
+
+
 @dataclass
 class RunResult:
     """Everything one coupled run measured."""
@@ -67,10 +383,17 @@ class RunResult:
     get_time: float = 0.0
     bytes_staged: float = 0.0
     failure: Optional[str] = None
-    #: "exact" ran every actor; "clustered" ran one representative
-    #: group per equivalence class (requested via ``fidelity`` and
-    #: engaged only when the structural checks proved symmetry)
+    #: "exact" ran every actor every step; "clustered" ran one
+    #: representative group per equivalence class; "steady" stopped
+    #: simulating once the step loop provably entered a periodic orbit
+    #: and replayed the rest by exact translation; "steady+clustered"
+    #: composed both (requested via ``fidelity`` and engaged only when
+    #: the structural/fingerprint checks proved it bit-identical)
     fidelity: str = "exact"
+    #: why a requested reduced fidelity could not (fully) engage — the
+    #: run silently fell back to a stricter mode (None when the request
+    #: engaged as asked, or nothing was requested)
+    fidelity_fallback: Optional[str] = None
     #: inputs echoed into the result so consumers never need the live
     #: ``library`` (which is stripped from pickled/worker-shipped results)
     variable_nbytes: int = 0
@@ -151,11 +474,25 @@ def run_coupled(
     silently falls back to exact otherwise — check
     ``RunResult.fidelity`` for what actually ran.
 
+    ``fidelity="steady"`` additionally asks the run to stop simulating
+    once the coupled step loop provably enters a periodic orbit — two
+    consecutive step boundaries matching in the full observable
+    fingerprint modulo one exact clock translation Δ — and fast-forward
+    the remaining iterations by exact translation (see
+    :meth:`~repro.staging.base.StagingLibrary.steady_plan`).
+    ``fidelity="steady+clustered"`` composes both reductions.  Either
+    falls back automatically (to clustered or exact) whenever the
+    library declines a certificate or no boundary pair matches;
+    ``RunResult.fidelity_fallback`` records why.
+
     Results are memoized in :mod:`repro.core.runcache` keyed on every
     input that determines the outcome; traced runs bypass the cache.
     """
-    if fidelity not in ("exact", "clustered"):
-        raise ValueError(f"fidelity must be 'exact' or 'clustered', got {fidelity!r}")
+    if fidelity not in ("exact", "clustered", "steady", "steady+clustered"):
+        raise ValueError(
+            "fidelity must be 'exact', 'clustered', 'steady' or "
+            f"'steady+clustered', got {fidelity!r}"
+        )
     spec = get_workflow(workflow) if isinstance(workflow, str) else workflow
     machine_spec = get_machine(machine) if isinstance(machine, str) else machine
     var = variable if variable is not None else spec.variable(nsim)
@@ -207,39 +544,55 @@ def run_coupled(
         if cached is not None:
             return cached
 
-    result = RunResult(
-        machine=machine_spec.name,
-        workflow=spec.name,
-        method=method,
-        nsim=nsim,
-        nana=nana,
-        steps=steps,
-        variable_nbytes=var.nbytes,
-    )
+    def _attempt(run_fidelity: str) -> RunResult:
+        result = RunResult(
+            machine=machine_spec.name,
+            workflow=spec.name,
+            method=method,
+            nsim=nsim,
+            nana=nana,
+            steps=steps,
+            variable_nbytes=var.nbytes,
+        )
+        env = Environment()
+        cluster = Cluster(env, machine_spec)
+        if fault_plan is None:
+            # no injector armed -> no OST can be degraded mid-run, so
+            # the Lustre pipes may run their eventless arithmetic chains
+            cluster.lustre.freeze_rates()
+        library = None
+        try:
+            library = _build_library(
+                method, cluster, nsim, nana, var, steps, transport,
+                num_servers, shared_nodes, config, topology_overrides, axis,
+            )
+            _execute(
+                env, cluster, library, result, var, spec, sim_step, ana_step,
+                steps, axis, nsim, nana, shared_nodes, topology_overrides,
+                trace, run_fidelity, fault_plan, recovery,
+            )
+        except HpcError as exc:
+            result.failure = f"{type(exc).__name__}: {exc}"
+            if fault_plan is not None:
+                # Chaos runs keep their partial accounting: how far the
+                # clock got and what the libraries managed to recover.
+                result.end_to_end = env.now
+                if library is not None:
+                    result.versions_lost = library.versions_lost
+                    result.recovery_events = library.recovery_events
+        return result
 
-    env = Environment()
-    cluster = Cluster(env, machine_spec)
-
-    library = None
     try:
-        library = _build_library(
-            method, cluster, nsim, nana, var, steps, transport,
-            num_servers, shared_nodes, config, topology_overrides, axis,
+        result = _attempt(fidelity)
+    except _SteadyDiverged as exc:
+        # Safety net: the confirmed orbit failed replay-time
+        # verification.  Rerun the whole configuration (fresh
+        # environment, cluster and library) without the fast-forward —
+        # a false engagement costs time, never correctness.
+        result = _attempt(
+            "clustered" if fidelity == "steady+clustered" else "exact"
         )
-        _execute(
-            env, cluster, library, result, var, spec, sim_step, ana_step,
-            steps, axis, nsim, nana, shared_nodes, topology_overrides,
-            trace, fidelity, fault_plan, recovery,
-        )
-    except HpcError as exc:
-        result.failure = f"{type(exc).__name__}: {exc}"
-        if fault_plan is not None:
-            # Chaos runs keep their partial accounting: how far the
-            # clock got and what the libraries managed to recover.
-            result.end_to_end = env.now
-            if library is not None:
-                result.versions_lost = library.versions_lost
-                result.recovery_events = library.recovery_events
+        result.fidelity_fallback = f"steady: {exc}"
 
     if cache_key is not None:
         from ..core import runcache
@@ -342,12 +695,15 @@ def _execute(
     bytes_per_sim_proc = var.nbytes / nsim
     bytes_per_ana_proc = var.nbytes / nana
 
+    clustered_req = fidelity in ("clustered", "steady+clustered")
+    steady_req = fidelity in ("steady", "steady+clustered")
+
     # Clustered fidelity: simulate one representative group when the
     # library's structural checks prove the chains identical and
     # disjoint.  Compute-only baselines have no interactions at all, so
     # one simulation and one analytics actor always suffice.
     plan: Optional[ClusterPlan] = None
-    if fidelity == "clustered" and trace is None and fault_plan is None:
+    if clustered_req and trace is None and fault_plan is None:
         if library is None:
             plan = ClusterPlan(sim_reps=1, ana_reps=1, server_reps=0, groups=1)
         else:
@@ -374,6 +730,51 @@ def _execute(
         for j, tracker in enumerate(ana_trackers):
             library.register_client_tracker("ana", j, tracker)
 
+    # Steady-state fast-forward: temporal memoization of the step loop.
+    # Traced runs need every interval, chaos breaks periodicity by
+    # construction, and a recovery policy can arm mid-run behaviour
+    # (e.g. DRC credential retries) the fingerprint cannot vouch for.
+    steady = None
+    if steady_req:
+        if trace is not None:
+            result.fidelity_fallback = "steady: traced run records every step"
+        elif fault_plan is not None:
+            result.fidelity_fallback = "steady: fault injection breaks periodicity"
+        elif recovery is not None:
+            result.fidelity_fallback = "steady: recovery policy armed"
+        elif library is None:
+            steady = _IndependentSteady(steps=steps)
+        else:
+            splan = library.steady_plan()
+            if splan is None:
+                result.fidelity_fallback = (
+                    "steady: library holds aperiodic hidden state "
+                    "(no certificate)"
+                )
+            elif steps < splan.warmup + 3:
+                result.fidelity_fallback = (
+                    f"steady: {steps} steps leave no room past the "
+                    f"{splan.warmup}-step warm-up"
+                )
+            else:
+                def _steady_series():
+                    tracked = [sim_trackers[0].series, ana_trackers[0].series]
+                    if library.servers:
+                        tracked.append(library.servers[0].memory.series)
+                    return tracked
+
+                steady = _SteadyController(
+                    env, library, steps, splan.warmup,
+                    n_actors=sim_count + ana_count,
+                    series_fn=_steady_series,
+                    trackers=sim_trackers + ana_trackers,
+                )
+                library._steady_tap = []
+
+    # Per-step-invariant compute costs, hoisted out of the actor loops.
+    sim_compute = machine.compute_time(sim_step)
+    ana_compute = machine.compute_time(ana_step)
+
     finish = {"sim": 0.0, "ana": 0.0}
     boot_done = env.event()
 
@@ -399,13 +800,16 @@ def _execute(
                     "staging-lib",
                 )
         for step in range(steps):
+            if steady is not None and steady.stop(name, step):
+                return  # remaining steps are replayed by translation
             if (library is not None and library.dead_ranks
                     and ("sim", i) in library.dead_ranks):
                 mark(name, "fault", env.now)
                 break
             t0 = env.now
-            yield env.timeout(machine.compute_time(sim_step))
+            yield env.timeout(sim_compute)
             mark(name, "compute", t0)
+            compute_end = env.now
             if library is not None:
                 buffer = persistent_buffer or tracker.allocate(
                     library.client_buffer_mult * bytes_per_sim_proc,
@@ -419,6 +823,8 @@ def _execute(
                 mark(name, "put", t0)
                 if buffer is not persistent_buffer:
                     tracker.free(buffer)
+            if steady is not None:
+                steady.record(name, step, (compute_end, env.now))
         finish["sim"] = max(finish["sim"], env.now)
 
     def ana_actor(j: int):
@@ -431,10 +837,13 @@ def _execute(
         if library is not None:
             tracker.allocate(cal.CLIENT_LIB_BASE, "staging-lib")
         for step in range(steps):
+            if steady is not None and steady.stop(name, step):
+                return  # remaining steps are replayed by translation
             if (library is not None and library.dead_ranks
                     and ("ana", j) in library.dead_ranks):
                 mark(name, "fault", env.now)
                 break
+            get_end = None
             if library is not None:
                 buffer = tracker.allocate(
                     library.client_buffer_mult * bytes_per_ana_proc,
@@ -443,10 +852,14 @@ def _execute(
                 t0 = env.now
                 yield env.process(library.get(j, read_regions[j], step))
                 mark(name, "get", t0)
+                get_end = env.now
                 tracker.free(buffer)
             t0 = env.now
-            yield env.timeout(machine.compute_time(ana_step))
+            yield env.timeout(ana_compute)
             mark(name, "compute", t0)
+            if steady is not None:
+                phases = (env.now,) if get_end is None else (get_end, env.now)
+                steady.record(name, step, phases)
         finish["ana"] = max(finish["ana"], env.now)
 
     procs = [env.process(booter(env))]
@@ -482,7 +895,26 @@ def _execute(
     else:
         env.run(until=done)
 
-    result.end_to_end = env.now
+    steady_end = None
+    if steady is not None:
+        if steady.engaged:
+            # Replay mutates the library stats and memory series in
+            # place, so it must run before the result assembly below;
+            # on divergence _SteadyDiverged propagates to run_coupled,
+            # which reruns the configuration without the fast-forward.
+            steady_end = steady.finalize(finish, library)
+            result.fidelity = (
+                "steady+clustered" if plan is not None else "steady"
+            )
+        else:
+            if library is not None:
+                library._steady_tap = None
+            if result.fidelity_fallback is None:
+                result.fidelity_fallback = (
+                    steady.fail or "steady: no boundary pair matched"
+                )
+
+    result.end_to_end = env.now if steady_end is None else steady_end
     result.sim_finish = finish["sim"]
     result.ana_finish = finish["ana"]
     result.sim_memory = sim_trackers[0].series

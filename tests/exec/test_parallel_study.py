@@ -61,10 +61,13 @@ class TestParallelStudy:
             {"fig8": Study().experiments()["fig8"]}, jobs=2, report_path=path
         )
         payload = json.loads(open(path).read())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["jobs"] == 2
         assert payload["quarantined"] == 0
         assert isinstance(payload["tasks"], list)
+        assert all(
+            isinstance(r["batch_sizes"], list) for r in payload["rounds"]
+        )
 
 
 class TestCliFlags:

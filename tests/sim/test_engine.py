@@ -284,3 +284,45 @@ def test_immediate_event_chain_runs_same_timestep():
     env.process(proc(env))
     env.run()
     assert trace == [0.0]
+
+
+def test_timeout_at_absolute_time():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(1.5)
+        yield env.timeout_at(4.0)
+        seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [4.0]
+
+
+def test_timeout_at_now_fires_without_advancing():
+    # an accumulated end can land exactly on `now` after a run of
+    # zero-duration chunks; that must be a zero-delay event, not an error
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(2.0)
+        yield env.timeout_at(env.now)
+        seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [2.0]
+
+
+def test_timeout_at_past_rejected():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.0)
+        yield env.timeout_at(2.0)
+
+    env.process(proc(env))
+    with pytest.raises(ValueError, match="in the past"):
+        env.run()

@@ -10,6 +10,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim import Container, Environment, Resource
+from repro.sim.engine import quantize
 
 
 def run_workload(delays):
@@ -39,9 +40,18 @@ def run_workload(delays):
 def test_all_processes_complete_and_clock_is_sum(delays):
     env, log = run_workload(delays)
     assert len(log) == len(delays)
+    # The clock is the *exact* fold of grid-snapped delays: every delay
+    # lands on the scheduling grid (see engine.TICK_BITS), and additions
+    # of grid multiples below the exactness horizon never round.
+    expected = {}
+    for name, steps in enumerate(delays):
+        t = 0.0
+        for step in steps:
+            t += quantize(step)
+        expected[name] = t
     for name, finished_at in log:
-        assert finished_at == pytest.approx(sum(delays[name]))
-    assert env.now == pytest.approx(max(sum(d) for d in delays))
+        assert finished_at == expected[name]
+    assert env.now == max(expected.values())
 
 
 @given(

@@ -16,13 +16,20 @@ optimizations move.  Modes:
   the numbers are meaningless);
 * ``--chaos``      — the seed-7 fault-injection campaign (``python -m
   repro chaos``): wall-clock and event count of all 35 chaos points;
+* ``--engine``     — the event-core microbenchmark: the shipped lazy
+  calendar queue against PR 4's binary heap on synthetic event
+  streams (same-tick cascades, short-horizon uniform, wide-horizon),
+  events/sec per structure under the ``engine`` key;
 * ``--gate PATH``  — the CI perf gate: re-measure the ``--full``
-  figures and exit non-zero if either regresses more than 25 % in wall
-  time against the committed baseline at ``PATH``.
+  figures and the chaos campaign, exit non-zero if a figure regresses
+  more than 25 % in wall time or chaos events/sec drops more than
+  25 % against the committed baseline at ``PATH``.
 
 Schema 2 adds ``events_per_second`` per figure — the
 machine-independent throughput number (wall seconds vary with the
-host; events are deterministic).
+host; events are deterministic).  Schema 3 adds the ``engine``
+microbenchmark section and ``events_per_second`` to the ``chaos``
+entry (now part of the gate).
 
 The run cache is cleared before every experiment so timings measure
 simulation, not memoization.  Results merge into the output JSON, so
@@ -40,9 +47,11 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import random
 import sys
 import time
-from typing import Callable, Dict
+from heapq import heappop, heappush
+from typing import Callable, Dict, List
 
 from repro.core import figures, runcache
 from repro.core.study import Study
@@ -118,7 +127,151 @@ def chaos_bench(seed: int = 7) -> Dict[str, object]:
         "seed": seed,
         "seconds": round(elapsed, 3),
         "events": counter.count,
+        "events_per_second": round(counter.count / elapsed, 1)
+        if elapsed > 0 else 0.0,
     }
+
+
+# ---------------------------------------------------- engine microbench
+
+class _HeapQueue:
+    """PR 4's event queue: one binary heap of ``(tick, eid, event)``.
+
+    The eid tie-break tuple is the structure's real cost — every push
+    allocates a triple and every sift compares tuples lexicographically.
+    """
+
+    __slots__ = ("_heap", "_eid", "now_tick")
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._eid = 0
+        self.now_tick = 0
+
+    def push(self, delay: int, ev) -> None:
+        heappush(self._heap, (self.now_tick + delay, self._eid, ev))
+        self._eid += 1
+
+    def pop(self):
+        tick, _eid, ev = heappop(self._heap)
+        self.now_tick = tick
+        return ev
+
+    def empty(self) -> bool:
+        return not self._heap
+
+
+class _CalendarQueue:
+    """The shipped lazy calendar queue (``Environment._insert``/``step``
+    with the event bodies stripped, so the comparison times the queue
+    structure alone).  Buckets hold bare events — FIFO order *is* the
+    eid tie-break, so no key tuple is ever built."""
+
+    __slots__ = ("_buckets", "_ticks", "_current", "_pos", "now_tick")
+
+    def __init__(self) -> None:
+        self._buckets: dict = {}
+        self._ticks: list = []
+        self._current = None
+        self._pos = 0
+        self.now_tick = 0
+
+    def push(self, delay: int, ev) -> None:
+        if delay == 0 and self._current is not None:
+            self._current.append(ev)
+            return
+        tick = self.now_tick + delay
+        bucket = self._buckets.get(tick)
+        if bucket is None:
+            self._buckets[tick] = [ev]
+            heappush(self._ticks, tick)
+        else:
+            bucket.append(ev)
+
+    def pop(self):
+        pos = self._pos
+        try:
+            ev = self._current[pos]
+        except (IndexError, TypeError):
+            tick = heappop(self._ticks)
+            cur = self._buckets.pop(tick)
+            self._current = cur
+            self.now_tick = tick
+            ev = cur[0]
+            pos = 0
+        self._pos = pos + 1
+        return ev
+
+    def empty(self) -> bool:
+        return (self._current is None or self._pos >= len(self._current)) \
+            and not self._ticks
+
+
+#: the engine's observed delay mix: over half of all events land on the
+#: current tick (succeed() cascades, process kick-offs, resource grants)
+_ENGINE_STREAMS = {
+    "cascade": lambda rng: 0 if rng.random() < 0.55 else rng.randrange(1, 1 << 20),
+    "uniform": lambda rng: rng.randrange(1, 1 << 20),
+    "wide": lambda rng: rng.randrange(1, 1 << 44),
+}
+
+
+def _stream_delays(profile: str, n_ops: int, seed: int) -> List[int]:
+    rng = random.Random(seed)
+    draw = _ENGINE_STREAMS[profile]
+    return [draw(rng) for _ in range(n_ops)]
+
+
+def _drive(queue, warm: List[int], delays: List[int]) -> float:
+    """Pop/push ``delays`` through ``queue``; returns elapsed seconds."""
+    for i, d in enumerate(warm):
+        queue.push(d, i)
+    pop, push = queue.pop, queue.push
+    start = time.perf_counter()
+    for i, d in enumerate(delays):
+        pop()
+        push(d, i)
+    return time.perf_counter() - start
+
+
+def engine_bench(n_ops: int = 200_000, seed: int = 1234) -> Dict[str, object]:
+    """Heap vs calendar queue on synthetic event streams.
+
+    Each stream holds the queue at a constant population (1000 pending
+    events) and measures pure pop+push throughput.  Both structures see
+    the same absolute ticks, and their pop sequences are asserted
+    identical first — the calendar queue's per-bucket FIFO *is* the
+    heap's ``(tick, eid)`` order.
+    """
+    results: Dict[str, object] = {"ops": n_ops}
+    streams: Dict[str, object] = {}
+    for profile in _ENGINE_STREAMS:
+        warm = _stream_delays(profile, 1000, seed ^ 0xA5A5)
+        delays = _stream_delays(profile, n_ops, seed)
+
+        check_n = min(n_ops, 20_000)
+        heap_q, cal_q = _HeapQueue(), _CalendarQueue()
+        for i, d in enumerate(warm):
+            heap_q.push(d, i)
+            cal_q.push(d, i)
+        for i, d in enumerate(delays[:check_n]):
+            assert heap_q.pop() == cal_q.pop(), profile
+            heap_q.push(d, 1000 + i)
+            cal_q.push(d, 1000 + i)
+
+        heap_s = _drive(_HeapQueue(), warm, delays)
+        cal_s = _drive(_CalendarQueue(), warm, delays)
+        entry = {
+            "heap_events_per_second": round(n_ops / heap_s, 1),
+            "calendar_events_per_second": round(n_ops / cal_s, 1),
+            "speedup": round(heap_s / cal_s, 3),
+        }
+        streams[profile] = entry
+        print(f"engine/{profile:8s} heap {n_ops / heap_s:>12,.0f} ev/s   "
+              f"calendar {n_ops / cal_s:>12,.0f} ev/s   "
+              f"({heap_s / cal_s:.2f}x)")
+    results["streams"] = streams
+    return results
 
 
 #: CI fails when a gated figure's wall time exceeds baseline by this
@@ -126,15 +279,22 @@ GATE_TOLERANCE = 0.25
 GATED_FIGURES = ("fig2a_full", "fig2b_full")
 
 
-def perf_gate(baseline_path: str, measured: Dict[str, Dict]) -> int:
-    """Compare measured figure wall times against the committed baseline.
+def perf_gate(
+    baseline_path: str,
+    measured: Dict[str, Dict],
+    measured_chaos: Dict[str, object],
+) -> int:
+    """Compare measured perf against the committed baseline.
 
+    Figures gate on wall time (must not grow past the tolerance);
+    the chaos campaign gates on events/sec (must not drop past it).
     Returns the number of regressions beyond :data:`GATE_TOLERANCE`.
-    A missing baseline figure is a hard failure too — the gate must
+    A missing baseline entry is a hard failure too — the gate must
     never pass vacuously.
     """
     with open(baseline_path) as fh:
-        baseline = json.load(fh).get("figures", {})
+        payload = json.load(fh)
+    baseline = payload.get("figures", {})
     failures = 0
     for ident in GATED_FIGURES:
         if ident not in baseline:
@@ -150,6 +310,20 @@ def perf_gate(baseline_path: str, measured: Dict[str, Dict]) -> int:
               f"{1.0 + GATE_TOLERANCE:.0%})")
         if ratio > 1.0 + GATE_TOLERANCE:
             failures += 1
+    base_eps = payload.get("chaos", {}).get("events_per_second")
+    if not base_eps:
+        print(f"GATE FAIL chaos: no events_per_second baseline in "
+              f"{baseline_path}")
+        failures += 1
+    else:
+        now_eps = measured_chaos["events_per_second"]
+        ratio = now_eps / base_eps
+        verdict = "ok" if ratio >= 1.0 - GATE_TOLERANCE else "GATE FAIL"
+        print(f"{verdict:9s} chaos: {now_eps:,.0f} ev/s vs baseline "
+              f"{base_eps:,.0f} ev/s ({ratio:.0%} of baseline, floor "
+              f"{1.0 - GATE_TOLERANCE:.0%})")
+        if ratio < 1.0 - GATE_TOLERANCE:
+            failures += 1
     return failures
 
 
@@ -160,7 +334,7 @@ def _merge_existing(path: str, report: Dict) -> Dict:
             existing = json.load(fh)
     except (OSError, json.JSONDecodeError):
         return report
-    for key in ("figures", "jobs_sweep", "chaos"):
+    for key in ("figures", "jobs_sweep", "chaos", "engine"):
         if key in existing and key not in report:
             report[key] = existing[key]
     return report
@@ -177,15 +351,20 @@ def main(argv=None) -> int:
                        help="the whole campaign at jobs=1/2/4")
     group.add_argument("--chaos", action="store_true",
                        help="the seed-7 fault-injection campaign")
+    group.add_argument("--engine", action="store_true",
+                       help="the event-core microbenchmark: calendar "
+                            "queue vs binary heap on synthetic streams")
     group.add_argument("--gate", metavar="BASELINE",
                        help="CI perf gate: rerun the --full figures and "
-                            "fail on a >25%% wall-time regression vs the "
-                            "committed BASELINE json")
+                            "the chaos campaign; fail on a >25%% "
+                            "wall-time regression (figures) or a >25%% "
+                            "events/sec drop (chaos) vs the committed "
+                            "BASELINE json")
     parser.add_argument("-o", "--output", default="BENCH_study.json",
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
 
-    report: Dict[str, object] = {"schema": 2, "cpus": os.cpu_count()}
+    report: Dict[str, object] = {"schema": 3, "cpus": os.cpu_count()}
     if args.jobs_sweep:
         report["mode"] = "jobs-sweep"
         report["jobs_sweep"] = jobs_sweep()
@@ -194,6 +373,11 @@ def main(argv=None) -> int:
         report["mode"] = "chaos"
         report["chaos"] = chaos_bench()
         total = report["chaos"]["seconds"]
+    elif args.engine:
+        report["mode"] = "engine"
+        start = time.perf_counter()
+        report["engine"] = engine_bench()
+        total = time.perf_counter() - start
     else:
         if args.gate:
             mode = "full"
@@ -216,6 +400,9 @@ def main(argv=None) -> int:
                 if elapsed > 0 else 0.0,
             }
             print(f"{ident:12s} {elapsed:8.2f} s  {counter.count:>12,} events")
+        if args.gate:
+            report["chaos"] = chaos_bench()
+            total += report["chaos"]["seconds"]
     report["total_seconds"] = round(total, 3)
     report = _merge_existing(args.output, report)
 
@@ -224,7 +411,8 @@ def main(argv=None) -> int:
         fh.write("\n")
     print(f"\ntotal {total:.2f} s -> {args.output}")
     if args.gate:
-        return 1 if perf_gate(args.gate, report["figures"]) else 0
+        return 1 if perf_gate(args.gate, report["figures"],
+                              report["chaos"]) else 0
     return 0
 
 

@@ -133,7 +133,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "--jobs workers)")
     study_p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                          help="simulate the deduplicated work-plan on N "
-                              "worker processes (default: 1, serial)")
+                              "worker processes, clamped to the host's "
+                              "cpu count (default: 1, serial)")
     study_p.add_argument("--report", metavar="PATH", dest="report_path",
                          help="write the JSON run report here (default with "
                               "--jobs and --export: DIR/run_report.json)")
@@ -149,7 +150,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "(default: 7, the committed goldens)")
     chaos_p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                          help="simulate the campaign's points on N worker "
-                              "processes (tables stay byte-identical)")
+                              "processes, clamped to the host's cpu count "
+                              "(tables stay byte-identical)")
     chaos_p.add_argument("--export", metavar="DIR", default="results",
                          help="write chaos_matrix/chaos_blast as CSV+JSON "
                               "into DIR (default: results)")

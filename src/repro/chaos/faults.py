@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..sim.engine import _TICK, _TICK_SCALE
+
 #: the injectable fault kinds, in campaign sweep order
 FAULT_KINDS = (
     "server_crash",
@@ -203,12 +205,25 @@ class FaultInjector:
         self.injected: List[Tuple[float, str]] = []
 
     def start(self) -> None:
-        """Schedule every event of the plan."""
+        """Schedule every event of the plan.
+
+        Absolute fire times quantize onto the 2^-32 s tick grid up
+        front — the plan's float ``at`` becomes an integer deadline, the
+        same rounding :meth:`Environment.at` would apply, made explicit
+        so a fault time is a tick everywhere downstream.
+        """
+        env = self.env
         for event in self.plan.events:
             if event.after_puts > 0 and self.library is not None:
                 self._arm_put_watcher(event)
             else:
-                self.env.at(event.at, lambda ev=event: self._fire(ev))
+                tick = round(event.at * _TICK_SCALE)
+                if tick < env._now_tick:
+                    tick = env._now_tick
+                done = env.timeout_at_tick(tick)
+                done.callbacks.append(
+                    lambda _ev, ev=event: self._fire(ev)
+                )
 
     def describe(self) -> str:
         return self.plan.describe()
@@ -243,11 +258,19 @@ class FaultInjector:
                  else topo.ana_actors)
         self.library.rank_died(event.actor_kind, event.target % count)
 
+    def _at_duration_tick(self, duration: float, fn) -> None:
+        """Run ``fn()`` ``duration`` seconds from now, in tick arithmetic."""
+        env = self.env
+        done = env.timeout_at_tick(
+            env._now_tick + round(duration * _TICK_SCALE)
+        )
+        done.callbacks.append(lambda _ev: fn())
+
     def _inject_transport_degrade(self, event: FaultEvent) -> None:
         for node in self.cluster.booted_nodes:
             node.nic.degrade(event.factor)
         if event.duration > 0:
-            self.env.at(self.env.now + event.duration, self._restore_nics)
+            self._at_duration_tick(event.duration, self._restore_nics)
 
     def _restore_nics(self) -> None:
         for node in self.cluster.booted_nodes:
@@ -256,9 +279,8 @@ class FaultInjector:
     def _inject_ost_slow(self, event: FaultEvent) -> None:
         self.cluster.lustre.degrade_ost(event.target, event.factor)
         if event.duration > 0:
-            self.env.at(
-                self.env.now + event.duration,
-                self.cluster.lustre.restore_osts,
+            self._at_duration_tick(
+                event.duration, self.cluster.lustre.restore_osts
             )
 
     def _inject_drc_reject(self, event: FaultEvent) -> None:
@@ -266,4 +288,8 @@ class FaultInjector:
         if drc is None:
             return  # machine has no credential service: nothing to hit
         window = event.duration if event.duration > 0 else self.plan.watchdog
-        drc.reject_until = self.env.now + window
+        # The rejection deadline sits on the tick grid like every
+        # scheduled time it will be compared against.
+        drc.reject_until = (
+            self.env._now_tick + round(window * _TICK_SCALE)
+        ) * _TICK

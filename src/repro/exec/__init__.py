@@ -26,7 +26,7 @@ import time
 from typing import Any, Callable, Mapping, Optional, TextIO
 
 from .plan import PlannedTask, WorkPlan, build_plan
-from .pool import TaskOutcome, WorkerPool
+from .pool import TaskOutcome, WorkerPool, effective_jobs
 from .report import ProgressPrinter, RunReport
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "build_plan",
     "TaskOutcome",
     "WorkerPool",
+    "effective_jobs",
     "ProgressPrinter",
     "RunReport",
     "execute_parallel",
@@ -62,7 +63,8 @@ def execute_parallel(
     from ..core import runcache
 
     start = time.monotonic()
-    report = RunReport(jobs=jobs)
+    workers = effective_jobs(jobs)
+    report = RunReport(jobs=jobs, effective_jobs=workers)
     for round_no in range(1, max_rounds + 1):
         plan = build_plan(experiments)
         tasks = [t for t in plan.tasks if t.key not in report.quarantined_keys]
@@ -74,7 +76,7 @@ def execute_parallel(
             print(
                 f"round {round_no}: {len(tasks)} points to simulate "
                 f"({plan.total_refs} calls, {plan.deduped_refs} deduped, "
-                f"{plan.cache_hits} already cached) on {jobs} workers",
+                f"{plan.cache_hits} already cached) on {workers} workers",
                 file=progress_stream,
                 flush=True,
             )

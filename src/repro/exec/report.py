@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, TextIO
 
 #: 1 -> 2: rounds gained ``batch_sizes`` (the dispatch-batching record)
-SCHEMA = 2
+#: 2 -> 3: records ``requested_jobs``/``effective_jobs`` (the cpu-count
+#:         clamp of :func:`repro.exec.pool.effective_jobs`)
+SCHEMA = 3
 
 
 class ProgressPrinter:
@@ -56,9 +58,16 @@ class RunReport:
     """The campaign's execution record, JSON-serializable."""
 
     jobs: int
+    #: workers actually spawned after the cpu-count clamp (defaults to
+    #: the requested count for callers that don't pass it)
+    effective_jobs: Optional[int] = None
     rounds: List[Dict[str, Any]] = field(default_factory=list)
     tasks: List[Dict[str, Any]] = field(default_factory=list)
     wall_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.effective_jobs is None:
+            self.effective_jobs = self.jobs
 
     def absorb(
         self,
@@ -126,9 +135,12 @@ class RunReport:
 
     def summary(self) -> str:
         total_refs = self.rounds[0]["total_refs"] if self.rounds else 0
+        workers = f"{self.effective_jobs} workers"
+        if self.effective_jobs != self.jobs:
+            workers += f" ({self.jobs} requested, clamped to cpu count)"
         line = (
             f"parallel executor: {self.executed}/{len(self.tasks)} points "
-            f"simulated with {self.jobs} workers in {self.wall_seconds:.1f}s "
+            f"simulated with {workers} in {self.wall_seconds:.1f}s "
             f"({total_refs} calls enumerated, {self.deduped_refs} deduped, "
             f"{self.cache_hits} cache hits, {self.retries} retries, "
             f"{len(self.quarantined)} quarantined, "
@@ -140,6 +152,8 @@ class RunReport:
         return dict(
             schema=SCHEMA,
             jobs=self.jobs,
+            requested_jobs=self.jobs,
+            effective_jobs=self.effective_jobs,
             wall_seconds=round(self.wall_seconds, 3),
             executed=self.executed,
             retries=self.retries,

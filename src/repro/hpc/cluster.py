@@ -33,6 +33,7 @@ class Cluster:
         self.env = env
         self.spec = spec
         self._nodes: Dict[int, Node] = {}
+        self._links: Dict[tuple, Link] = {}
         self.topology = make_topology(spec.interconnect.topology, spec.num_nodes)
         self.lustre = LustreFilesystem(env, spec.lustre)
         self.drc: Optional[DrcService] = (
@@ -64,19 +65,29 @@ class Cluster:
 
         Wire latency scales with the topology hop count: on the 3D
         torus distant nodes pay more; on the dragonfly everything is
-        at most three hops away.
+        at most three hops away.  Links are stateless (they reference
+        the nodes' pipes), so each (src, dst, overhead) path is built
+        once and reused — transports request the same paths millions of
+        times per campaign.
         """
+        key = (src.node_id, dst.node_id, overhead_factor)
+        link = self._links.get(key)
+        if link is not None:
+            return link
         if src is dst:
-            return Link(self.env, src.membus, dst.membus, latency=0.0,
+            link = Link(self.env, src.membus, dst.membus, latency=0.0,
                         overhead_factor=overhead_factor)
-        hops = max(1, self.topology.hops(src.node_id, dst.node_id))
-        return Link(
-            self.env,
-            src.nic,
-            dst.nic,
-            latency=self.spec.interconnect.latency * hops,
-            overhead_factor=overhead_factor,
-        )
+        else:
+            hops = max(1, self.topology.hops(src.node_id, dst.node_id))
+            link = Link(
+                self.env,
+                src.nic,
+                dst.nic,
+                latency=self.spec.interconnect.latency * hops,
+                overhead_factor=overhead_factor,
+            )
+        self._links[key] = link
+        return link
 
 
 @dataclass(frozen=True)

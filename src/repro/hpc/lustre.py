@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from typing import Generator, List
 
+import numpy as np
+
 from ..sim import Environment, Resource
+from ..sim.engine import _TICK_SCALE
 from .machines import LustreSpec
 from .network import BandwidthPipe
 
@@ -56,6 +59,12 @@ class LustreFilesystem:
         self._mds = Resource(env, capacity=spec.num_mds)
         self._next_ost = 0
         self._rates_frozen = False
+        # Vectorized frozen-mode state (authoritative once frozen; the
+        # per-pipe attributes go stale — see freeze_rates):
+        self._chain_ticks = None  # np.int64[num_osts]: chain end ticks
+        self._busy = None  # np.float64[num_osts]: busy_time mirror
+        self._moved = None  # np.float64[num_osts]: bytes_moved mirror
+        self._plan_memo: dict = {}
         self.bytes_written = 0
         self.bytes_read = 0
         self.files_created = 0
@@ -64,13 +73,47 @@ class LustreFilesystem:
         """Promise no OST is ever degraded: bursts become arithmetic.
 
         The driver calls this for every run without a fault plan — the
-        OST pipes then resolve whole request bursts to one completion
-        time per OST without creating any events (see
-        :meth:`BandwidthPipe.enqueue_runs_end`).
+        OST pipes then resolve whole request bursts arithmetically,
+        without creating any events (see :meth:`_transfer`).  While
+        frozen, the pool's chain/stats state lives in numpy arrays (one
+        entry per OST) so a request touching hundreds of OSTs updates
+        them with a handful of array operations; the per-pipe
+        attributes are stale until :meth:`sync_frozen_stats`.
         """
+        if self._rates_frozen:
+            return
         self._rates_frozen = True
         for ost in self._osts:
             ost.freeze_rate()
+        self._chain_ticks = np.array(
+            [ost._chain_end_tick for ost in self._osts], dtype=np.int64
+        )
+        self._busy = np.array([ost.busy_time for ost in self._osts])
+        self._moved = np.array([float(ost.bytes_moved) for ost in self._osts])
+
+    def sync_frozen_stats(self) -> None:
+        """Copy the frozen-mode array state back onto the OST pipes."""
+        if not self._rates_frozen:
+            return
+        for i, ost in enumerate(self._osts):
+            ost.busy_time = float(self._busy[i])
+            ost.bytes_moved = float(self._moved[i])
+            ost._chain_end_tick = int(self._chain_ticks[i])
+
+    def osts_steady_state(self) -> tuple:
+        """Boundary fingerprint of the whole OST pool.
+
+        Frozen pools read the vectorized chain state: the end ticks
+        relative to now (an integer subtraction — trivially exact and
+        translation-invariant) carry the pool's full dynamical state,
+        since frozen pipes have no events, no waiters and no pending
+        bursts.  Unfrozen pools fall back to the per-pipe fingerprint.
+        """
+        if self._rates_frozen:
+            rel = self._chain_ticks - self.env._now_tick
+            np.maximum(rel, 0, out=rel)
+            return tuple(rel.tolist())
+        return tuple(ost.steady_state() for ost in self._osts)
 
     def degrade_ost(self, index: int, factor: float) -> None:
         """Chaos: slow one OST down by ``factor`` (``inf`` = failed)."""
@@ -163,23 +206,106 @@ class LustreFilesystem:
         add(ost_of(last_index), tail, 1)
         return [(o, [tuple(r) for r in runs]) for o, runs in grouped.items()]
 
+    def _build_plan(self, handle: LustreFile, offset: int, nbytes: int) -> list:
+        """Compile one request's stripe split into vectorized classes.
+
+        Groups the reference :meth:`_stripe_transfers` output by (run
+        sequence, rate): OSTs in one class receive the *same* chunk
+        duration sequence, so their accumulator folds and completion
+        offsets are computed together.  Each class precomputes the
+        per-chunk duration vector (``fill``), the burst length in ticks
+        and the per-OST byte count; all float math matches the chunk-
+        by-chunk reference additions bit for bit (np.add.accumulate is
+        sequential left-to-right in double precision).
+        """
+        classes: dict = {}
+        for ost, runs in self._stripe_transfers(handle, offset, nbytes):
+            key = (tuple(runs), self._osts[ost].rate)
+            bucket = classes.get(key)
+            if bucket is None:
+                classes[key] = [ost]
+            else:
+                bucket.append(ost)
+        plan = []
+        for (runs, rate), ost_list in classes.items():
+            pieces = np.array([piece for piece, _ in runs], dtype=np.float64)
+            counts = np.array([n for _, n in runs])
+            fill = np.repeat(pieces / rate, counts)
+            total = float(np.add.accumulate(fill)[-1])
+            tick_add = round(total * _TICK_SCALE)
+            per_ost_bytes = 0
+            for piece, n in runs:
+                per_ost_bytes += piece * n
+            plan.append((
+                np.array(ost_list, dtype=np.intp),
+                fill,
+                tick_add,
+                per_ost_bytes,
+            ))
+        return plan
+
     def _transfer(self, handle: LustreFile, offset: int, nbytes: int) -> Generator:
         """Process: push one contiguous request through the OST pipes.
 
         Frozen-rate runs resolve each OST burst arithmetically and wait
-        once for the latest completion time; otherwise every burst gets
+        once for the latest completion tick; otherwise every burst gets
         a chained completion event and the request waits on all of them
         — same timestamps either way.
+
+        The frozen path is the hottest code in the MPI-IO figures: a
+        full-range request touches every OST in the pool, millions of
+        bursts per campaign.  Requests repeat heavily (the same writer
+        geometry recurs every step), so the stripe split is compiled
+        once into a :meth:`_build_plan` and replayed against the pool's
+        array state with a few numpy operations per class — identical
+        float addition order per OST, therefore identical stats and
+        completion ticks.
         """
         if self._rates_frozen:
-            osts = self._osts
-            end = 0.0
-            for ost, runs in self._stripe_transfers(handle, offset, nbytes):
-                t = osts[ost].enqueue_runs_end(runs)
+            if nbytes <= 0:
+                return
+            memo = self._plan_memo
+            key = (
+                handle.first_ost, handle.stripe_size, handle.stripe_count,
+                offset, nbytes,
+            )
+            plan = memo.get(key)
+            if plan is None:
+                if len(memo) > 4096:
+                    memo.clear()  # geometry churn backstop; plans rebuild
+                plan = self._build_plan(handle, offset, nbytes)
+                memo[key] = plan
+            now_tick = self.env._now_tick
+            ticks = self._chain_ticks
+            busy = self._busy
+            moved = self._moved
+            end = 0
+            for o_arr, fill, tick_add, per_ost_bytes in plan:
+                width = fill.shape[0]
+                if width <= 4096:
+                    m = np.empty((o_arr.shape[0], width + 1))
+                    m[:, 0] = busy[o_arr]
+                    m[:, 1:] = fill
+                    np.add.accumulate(m, axis=1, out=m)
+                    busy[o_arr] = m[:, width]
+                else:
+                    # Very long bursts: per-OST 1-D folds, bounded memory.
+                    arr = np.empty(width + 1)
+                    for o in o_arr:
+                        arr[0] = busy[o]
+                        arr[1:] = fill
+                        np.add.accumulate(arr, out=arr)
+                        busy[o] = arr[width]
+                moved[o_arr] += per_ost_bytes
+                sel = ticks[o_arr]
+                np.maximum(sel, now_tick, out=sel)
+                sel += tick_add
+                ticks[o_arr] = sel
+                t = int(sel.max())
                 if t > end:
                     end = t
-            if end > 0.0:
-                yield self.env.timeout_at(end)
+            if end > 0:
+                yield self.env.timeout_at_tick(end)
             return
         transfers = [
             self._osts[ost].enqueue_runs(runs)

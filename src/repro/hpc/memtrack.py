@@ -88,13 +88,20 @@ class MemoryTracker:
         self._apply(-alloc.nbytes, alloc.category)
 
     def _apply(self, delta: int, category: str) -> None:
+        # Appends to the series directly: the simulation clock is
+        # monotonic, so record()'s ordering check can't fire here, and
+        # every allocation/free walks this chain.
         tracker: Optional[MemoryTracker] = self
         while tracker is not None:
-            tracker.total += delta
-            tracker.by_category[category] = tracker.by_category.get(category, 0) + delta
-            if tracker.total > tracker.peak:
-                tracker.peak = tracker.total
-            tracker.series.record(tracker.env.now, tracker.total)
+            total = tracker.total + delta
+            tracker.total = total
+            by_category = tracker.by_category
+            by_category[category] = by_category.get(category, 0) + delta
+            if total > tracker.peak:
+                tracker.peak = total
+            series = tracker.series
+            series._times.append(tracker.env._now)
+            series._values.append(float(total))
             tracker = tracker.parent
 
     def category_total(self, category: str) -> int:

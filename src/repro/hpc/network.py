@@ -12,9 +12,42 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+import numpy as np
+
 from ..sim import Environment, Resource
-from ..sim.engine import quantize
+from ..sim.engine import _TICK_SCALE
 from ..sim.events import Event
+
+
+def _accumulate_runs(total: float, busy: float, rate: float, runs) -> tuple:
+    """Fold run-length chunks into the (total, busy) accumulators.
+
+    One float addition per chunk, in order — the reference semantics
+    every burst path must match bit for bit.  Long runs switch to
+    ``np.add.accumulate``, which performs the *same* left-to-right
+    double-precision additions at C speed (verified bit-identical).
+    Returns ``(total, busy, moved)``; the byte count is integer-exact,
+    so it folds with one multiply-add per run.
+    """
+    moved = 0
+    for nbytes, count in runs:
+        duration = nbytes / rate
+        if count < 64:
+            for _ in range(count):
+                total += duration
+                busy += duration
+        else:
+            arr = np.empty(count + 1)
+            arr[0] = total
+            arr[1:] = duration
+            np.add.accumulate(arr, out=arr)
+            total = float(arr[count])
+            arr[0] = busy
+            arr[1:] = duration
+            np.add.accumulate(arr, out=arr)
+            busy = float(arr[count])
+        moved += nbytes * count
+    return total, busy, moved
 
 
 class BandwidthPipe:
@@ -32,7 +65,7 @@ class BandwidthPipe:
         self._nominal_rate = self.rate
         self._chain_tail: Optional[Event] = None
         self._chain_pending = 0
-        self._chain_end = 0.0
+        self._chain_end_tick = 0
         self._rate_frozen = False
 
     def freeze_rate(self) -> None:
@@ -65,13 +98,13 @@ class BandwidthPipe:
     def steady_state(self) -> tuple:
         """Occupancy + waiters — the pipe's boundary fingerprint.
 
-        The arithmetic chain's state is its end time *relative to now*
-        (both on the scheduling grid, so the subtraction is exact and
-        translation-invariant).
+        The arithmetic chain's state is its end *tick* relative to now —
+        a plain integer subtraction, trivially exact and
+        translation-invariant.
         """
-        rel_end = self._chain_end - self.env.now
-        if rel_end < 0.0:
-            rel_end = 0.0
+        rel_end = self._chain_end_tick - self.env._now_tick
+        if rel_end < 0:
+            rel_end = 0
         return self._res.steady_state() + (self._chain_pending, rel_end)
 
     @property
@@ -114,7 +147,8 @@ class BandwidthPipe:
                 total += duration
                 self.bytes_moved += nbytes
                 self.busy_time += duration
-            yield self.env.timeout(total)
+            env = self.env
+            yield env.timeout_at_tick(env._now_tick + round(total * _TICK_SCALE))
 
     def enqueue_runs(self, runs) -> Event:
         """FIFO-queue a burst of run-length chunks; its completion event.
@@ -147,17 +181,10 @@ class BandwidthPipe:
         done.callbacks.append(_complete)
 
         def _start(_ev: Event = None) -> None:
-            total = 0.0
-            moved = self.bytes_moved
-            busy = self.busy_time
-            rate = self.rate
-            for nbytes, count in runs:
-                duration = nbytes / rate
-                for _ in range(count):
-                    total += duration
-                    moved += nbytes
-                    busy += duration
-            self.bytes_moved = moved
+            total, busy, moved = _accumulate_runs(
+                0.0, self.busy_time, self.rate, runs
+            )
+            self.bytes_moved += moved
             self.busy_time = busy
             done._ok = True
             done._value = None
@@ -171,33 +198,31 @@ class BandwidthPipe:
             prev.callbacks.append(_start)
         return done
 
-    def enqueue_runs_end(self, runs) -> float:
-        """Arithmetic :meth:`enqueue_runs`: the absolute completion time.
+    def enqueue_runs_end(self, runs) -> int:
+        """Arithmetic :meth:`enqueue_runs`: the absolute completion tick.
 
         Valid only after :meth:`freeze_rate` — with the rate constant,
         the burst-start rate read is the enqueue-time rate read, so the
-        whole FIFO chain collapses into one float per pipe (its end
-        time) and the burst needs *no events at all*.  Same duration
-        accumulation (one addition per chunk, in order), same
-        ``max(chain end, now) + quantize(total)`` completion arithmetic
-        as the event chain, therefore bit-identical timestamps.
+        whole FIFO chain collapses into one integer per pipe (its end
+        tick) and the burst needs *no events at all*.  Same duration
+        accumulation (one addition per chunk, in order) as the event
+        chain; the completion arithmetic ``max(chain end, now) +
+        round(total * 2**32)`` is the tick form of the event chain's
+        ``max + quantize`` — grid multiples add exactly in double, so
+        projecting the tick back to seconds gives the event chain's
+        float bit for bit.
         """
-        total = 0.0
-        moved = self.bytes_moved
-        busy = self.busy_time
-        rate = self.rate
-        for nbytes, count in runs:
-            duration = nbytes / rate
-            for _ in range(count):
-                total += duration
-                moved += nbytes
-                busy += duration
-        self.bytes_moved = moved
+        total, busy, moved = _accumulate_runs(
+            0.0, self.busy_time, self.rate, runs
+        )
+        self.bytes_moved += moved
         self.busy_time = busy
-        now = self.env.now
-        start = self._chain_end if self._chain_end > now else now
-        end = start + quantize(total)
-        self._chain_end = end
+        start = self._chain_end_tick
+        now_tick = self.env._now_tick
+        if start < now_tick:
+            start = now_tick
+        end = start + round(total * _TICK_SCALE)
+        self._chain_end_tick = end
         return end
 
 

@@ -6,7 +6,7 @@ staging library and hardware model runs as coroutine processes on the
 rather than host wall-clock.
 """
 
-from .engine import Environment, Infinity
+from .engine import Environment, Infinity, quantize, tick_of, time_of
 from .events import AllOf, AnyOf, Event, Interrupt, Timeout
 from .monitor import TimeSeries
 from .process import Process
@@ -27,4 +27,7 @@ __all__ = [
     "Store",
     "TimeSeries",
     "Timeout",
+    "quantize",
+    "tick_of",
+    "time_of",
 ]

@@ -1,0 +1,78 @@
+"""The integer scheduling grid: tick constants and exact conversions.
+
+Shared by :mod:`repro.sim.engine` (the clock and calendar queue) and
+:mod:`repro.sim.events` (which inlines the hot scheduling path into
+:class:`~repro.sim.events.Timeout`).  Everything here is re-exported by
+``repro.sim.engine`` — import from there unless you are inside the
+``sim`` package and need to avoid the import cycle.
+"""
+
+from __future__ import annotations
+
+Infinity = float("inf")
+
+#: scheduling-grid resolution: every event delay is snapped to a multiple
+#: of 2**-TICK_BITS simulated seconds before it is added to the clock.
+#: With 32 fractional bits, any timestamp below 2**20 seconds (~12 days,
+#: far beyond any run here) uses at most 52 significand bits, so *every*
+#: conversion between ticks and seconds in the simulator is exact in
+#: IEEE-754 double — no rounding, ever.  That exactness is what makes
+#: the steady-state fast-forward's delta replay bit-identical: the clock
+#: translation is an integer tick shift, and projecting it back to
+#: seconds is a float identity, not an approximation.  The grid is
+#: ~0.2 ns, four orders of magnitude below the smallest modeled latency.
+TICK_BITS = 32
+_TICK_SCALE = float(1 << TICK_BITS)
+_TICK = 1.0 / _TICK_SCALE
+
+#: timestamps must stay below this bound for grid arithmetic to be
+#: exact (2**(53 - TICK_BITS) seconds); the steady-state controller
+#: checks it before fast-forwarding.
+EXACT_TIME_LIMIT = float(1 << (53 - TICK_BITS)) / 2.0
+
+#: :data:`EXACT_TIME_LIMIT` in ticks — the integer form the steady-state
+#: controller compares against now that boundary times are tick counts.
+EXACT_TICK_LIMIT = (1 << 52)
+assert EXACT_TICK_LIMIT * _TICK == EXACT_TIME_LIMIT
+
+#: tick sentinel for "never": events scheduled with an infinite delay
+#: carry no finite tick and live on the calendar's spill list.  Any
+#: tick at or beyond this bound converts back to ``inf`` seconds.
+NEVER_TICK = 1 << 62
+
+
+def quantize(seconds: float) -> float:
+    """Snap a duration onto the scheduling grid (see :data:`TICK_BITS`).
+
+    Zero, negatives (rejected later by :class:`Timeout`), infinity and
+    NaN pass through unchanged.
+    """
+    if seconds > 0.0 and seconds != Infinity:
+        return round(seconds * _TICK_SCALE) * _TICK
+    return seconds
+
+
+def tick_of(seconds: float) -> int:
+    """Exact conversion of an on-grid time to its integer tick count.
+
+    This is the strict API boundary: ``seconds`` must already be a grid
+    multiple (every timestamp the engine produces is one).  An off-grid
+    float raises ``ValueError`` — converting it would silently move the
+    time, and the whole bit-identity argument rests on never doing that.
+    Use :func:`quantize` first for durations that still need snapping.
+    """
+    if seconds == Infinity:
+        return NEVER_TICK
+    tick = round(seconds * _TICK_SCALE)
+    if tick * _TICK != seconds:
+        raise ValueError(
+            f"{seconds!r} is not on the 2**-{TICK_BITS} s scheduling grid"
+        )
+    return tick
+
+
+def time_of(tick: int) -> float:
+    """The simulated seconds a tick count denotes — exact below 2**53."""
+    if tick >= NEVER_TICK:
+        return Infinity
+    return tick * _TICK

@@ -10,7 +10,10 @@ process).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, Optional
+
+from ._grid import Infinity, _TICK_SCALE
 
 PENDING = object()
 
@@ -58,11 +61,21 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with an optional ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined same-tick fast path of Environment.schedule(delay=0):
+        # a succeed() always fires at the current tick, and appending to
+        # the bucket being drained preserves FIFO order.  succeed() is
+        # called once per grant/handshake — hot enough that the method
+        # call shows up in profiles.
+        env = self.env
+        cur = env._current
+        if cur is not None:
+            cur.append(self)
+        else:
+            env.schedule(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -104,11 +117,34 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self._delay = delay
-        self._ok = True
+        # Inlined Event.__init__ *and* Environment.schedule: a timeout
+        # is the single hottest event kind (one per modeled latency), so
+        # it pays to skip both calls and write the slots / calendar
+        # bucket directly.  Mirrors schedule()'s tick arithmetic.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self._delay = delay
+        if delay == 0.0:
+            cur = env._current
+            if cur is not None:
+                cur.append(self)
+                return
+            tick = env._now_tick
+        elif delay == Infinity:
+            env._never.append(self)
+            return
+        else:
+            tick = env._now_tick + round(delay * _TICK_SCALE)
+        buckets = env._buckets
+        bucket = buckets.get(tick)
+        if bucket is None:
+            buckets[tick] = [self]
+            heappush(env._ticks, tick)
+        else:
+            bucket.append(self)
 
     @property
     def triggered(self) -> bool:

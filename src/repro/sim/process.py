@@ -27,12 +27,21 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Event | None = None
-        # Kick the process off at the current simulation time.
-        init = Event(env)
-        init._ok = True
+        # Kick the process off at the current simulation time.  The
+        # kick-off event is built inline (no Event.__init__ call):
+        # process spawns are hot enough in the staging models that the
+        # extra frame shows up in profiles.
+        init = Event.__new__(Event)
+        init.env = env
+        init.callbacks = [self._step]
         init._value = None
-        init.callbacks.append(self._resume)
-        env.schedule(init)
+        init._ok = True
+        init._defused = False
+        cur = env._current
+        if cur is not None:
+            cur.append(init)
+        else:
+            env.schedule(init)
 
     @property
     def is_alive(self) -> bool:
@@ -60,17 +69,16 @@ class Process(Event):
             return  # finished in the meantime; drop the interrupt
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._step)
             except ValueError:
                 pass
         self._target = None
         self._step(event)
 
-    def _resume(self, event: Event) -> None:
-        self._target = None
-        self._step(event)
-
     def _step(self, event: Event) -> None:
+        # _step doubles as the resume callback (registered directly on
+        # awaited events): one call frame per resumption instead of two.
+        self._target = None
         generator = self._generator
         while True:
             try:
@@ -95,11 +103,11 @@ class Process(Event):
                 )
                 return
 
-            if next_event.processed:
-                # Already done: loop immediately without a scheduler trip.
+            callbacks = next_event.callbacks
+            if callbacks is None:
+                # Already processed: loop on without a scheduler trip.
                 event = next_event
                 continue
-            if next_event.callbacks is not None:
-                next_event.callbacks.append(self._resume)
-                self._target = next_event
+            callbacks.append(self._step)
+            self._target = next_event
             return

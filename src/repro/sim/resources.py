@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional
 
-from .events import Event
+from .events import PENDING, Event
 
 
 class Request(Event):
@@ -32,9 +32,30 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.env)
+        # Inlined Event.__init__ plus the immediate-grant path of
+        # Resource._do_request: every pipe transfer starts with a
+        # request, and on an uncontended pipe (the common case) the
+        # grant fires at the current tick — written out flat, the whole
+        # request/grant is two appends.
+        env = resource.env
+        self.env = env
+        self.callbacks = []
         self.resource = resource
-        resource._do_request(self)
+        self._defused = False
+        users = resource._users
+        if len(users) < resource._capacity:
+            users.append(self)
+            self._ok = True
+            self._value = None
+            cur = env._current
+            if cur is not None:
+                cur.append(self)
+            else:
+                env.schedule(self)
+        else:
+            self._ok = None
+            self._value = PENDING
+            resource._waiting.append(self)
 
     def __enter__(self) -> "Request":
         return self
@@ -76,13 +97,6 @@ class Resource:
     def request(self) -> Request:
         """Claim a slot; the returned event triggers once granted."""
         return Request(self)
-
-    def _do_request(self, req: Request) -> None:
-        if len(self._users) < self._capacity:
-            self._users.append(req)
-            req.succeed()
-        else:
-            self._waiting.append(req)
 
     def release(self, req: Request) -> None:
         """Return a slot previously granted to ``req``."""

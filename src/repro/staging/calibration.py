@@ -60,6 +60,15 @@ DECAF_TRANSFORM_BW = 4 * GB
 #: lookup, pub/sub notification), seconds.
 RPC_LATENCY = 20.0e-6
 
+#: The same latency as integer scheduling ticks (and its doubled form,
+#: rounded from seconds exactly as ``Environment.timeout`` would):
+#: staging hot loops schedule these deadlines directly in tick
+#: arithmetic, skipping the per-call float quantization.
+from ..sim.engine import _TICK_SCALE as _TICK_SCALE  # noqa: E402
+
+RPC_LATENCY_TICKS = round(RPC_LATENCY * _TICK_SCALE)
+RPC_LATENCY_2_TICKS = round(2 * RPC_LATENCY * _TICK_SCALE)
+
 #: Server-side processing of one staged sub-region (DHT/SFC metadata
 #: insert or lookup).  DataSpaces servers handle requests one at a
 #: time ("without enabling multi-threads to split and concurrently

@@ -338,7 +338,10 @@ class DataSpaces(StagingLibrary):
         if not self.config.use_adios:
             # The native API issues explicit lock RPCs (Table III shows
             # the extra lock/unlock calls).
-            yield self.env.timeout(2 * cal.RPC_LATENCY)
+            env = self.env
+            yield env.timeout_at_tick(
+                env._now_tick + cal.RPC_LATENCY_2_TICKS
+            )
 
         client = self.sim_endpoint(sim_actor)
         plan = access_plan(region, self._partition, self.topology.server_actors)
@@ -353,7 +356,8 @@ class DataSpaces(StagingLibrary):
             )
             # Metadata/DHT update for the staged sub-region, serialized
             # through the (single-threaded) server.
-            yield self.env.timeout(cal.RPC_LATENCY)
+            env = self.env
+            yield env.timeout_at_tick(env._now_tick + cal.RPC_LATENCY_TICKS)
             yield from self._server_work(
                 server_index, self.topology.sim_scale, len(plan)
             )
@@ -469,7 +473,8 @@ class DataSpaces(StagingLibrary):
         yield from self.locks.lock_on_read(var.name, version)
 
         # DHT + SFC metadata lookup to locate the target sub-regions.
-        yield self.env.timeout(2 * cal.RPC_LATENCY)
+        env = self.env
+        yield env.timeout_at_tick(env._now_tick + cal.RPC_LATENCY_2_TICKS)
 
         client = self.ana_endpoint(ana_actor)
         plan = access_plan(region, self._partition, self.topology.server_actors)

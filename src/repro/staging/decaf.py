@@ -339,10 +339,13 @@ class Decaf(StagingLibrary):
         total = var.region_bytes(region)
 
         # Flatten + transform into the Bredala data model (parallel on
-        # every real producer, so the actor pays per-proc cost).
-        yield self.env.timeout(
+        # every real producer, so the actor pays per-proc cost); the
+        # delay becomes a tick deadline directly.
+        env = self.env
+        yield env.timeout_at_tick(env._now_tick + round(
             total / self.topology.sim_scale / cal.DECAF_TRANSFORM_BW
-        )
+            * cal._TICK_SCALE
+        ))
         yield from self.gate.writer_acquire(version)
         if (self._terminated_version is not None
                 and version >= self._terminated_version):

@@ -36,14 +36,25 @@ def split_along(dims: Tuple[int, ...], axis: int, parts: int) -> List[Region]:
     extent = dims[axis]
     parts = min(parts, extent)
     base, extra = divmod(extent, parts)
+    # Decompositions at the paper's full processor range produce tens
+    # of thousands of slabs; build each region by mutating the axis
+    # entry of prototype bounds (every slab is valid by construction,
+    # so the dataclass validation is skipped).
+    lb_proto = [0] * len(dims)
+    ub_proto = list(dims)
+    new_region = object.__new__
+    set_field = object.__setattr__
     regions = []
     start = 0
     for i in range(parts):
-        size = base + (1 if i < extra else 0)
-        lb = tuple(0 if d != axis else start for d in range(len(dims)))
-        ub = tuple(dims[d] if d != axis else start + size for d in range(len(dims)))
-        regions.append(Region(lb, ub))
+        size = base + 1 if i < extra else base
+        lb_proto[axis] = start
         start += size
+        ub_proto[axis] = start
+        region = new_region(Region)
+        set_field(region, "lb", tuple(lb_proto))
+        set_field(region, "ub", tuple(ub_proto))
+        regions.append(region)
     return regions
 
 

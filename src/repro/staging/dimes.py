@@ -241,7 +241,10 @@ class Dimes(StagingLibrary):
         busy = scale * cal.DIMES_META_RPC_SECONDS / max(1.0, self.topology.server_scale)
         with self._meta_cpu.request() as req:
             yield req
-            yield self.env.timeout(busy)
+            env = self.env
+            yield env.timeout_at_tick(
+                env._now_tick + round(busy * cal._TICK_SCALE)
+            )
 
     def put(
         self,

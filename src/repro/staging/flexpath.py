@@ -162,8 +162,13 @@ class Flexpath(StagingLibrary):
         total = var.region_bytes(region)
 
         # FFS always serializes into a self-describing event (parallel
-        # across the real processors, so the actor pays per-proc cost).
-        yield self.env.timeout(total / self.topology.sim_scale / cal.SERIALIZE_BW)
+        # across the real processors, so the actor pays per-proc cost);
+        # the delay becomes a tick deadline directly.
+        env = self.env
+        yield env.timeout_at_tick(env._now_tick + round(
+            total / self.topology.sim_scale / cal.SERIALIZE_BW
+            * cal._TICK_SCALE
+        ))
         yield from self.gate.writer_acquire(version)
 
         # The event sits in the writer-side queue until consumed.

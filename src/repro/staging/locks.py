@@ -137,7 +137,10 @@ class LockService:
     def lock_on_write(self, name: str, version: int) -> Generator:
         """Process: what ds_lock_on_write does under each lock_type."""
         self.acquires += 1
-        yield self.env.timeout(cal.RPC_LATENCY)  # the lock RPC itself
+        env = self.env
+        yield env.timeout_at_tick(  # the lock RPC itself
+            env._now_tick + cal.RPC_LATENCY_TICKS
+        )
         if self.lock_type == 1:
             yield from self._lock(name).acquire(is_writer=True)
         elif self.lock_type == 2:
@@ -154,7 +157,8 @@ class LockService:
     def lock_on_read(self, name: str, version: int) -> Generator:
         """Process: what ds_lock_on_read does under each lock_type."""
         self.acquires += 1
-        yield self.env.timeout(cal.RPC_LATENCY)
+        env = self.env
+        yield env.timeout_at_tick(env._now_tick + cal.RPC_LATENCY_TICKS)
         if self.lock_type == 1:
             yield from self._lock(name).acquire(is_writer=False)
         elif self.lock_type == 2:

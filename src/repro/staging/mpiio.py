@@ -72,7 +72,7 @@ class MpiIo(StagingLibrary):
         return super().steady_state(step) + (
             fs._next_ost,
             fs._mds.steady_state(),
-            tuple(ost.steady_state() for ost in fs._osts),
+            fs.osts_steady_state(),
         )
 
     # ------------------------------------------------------ chaos hooks
@@ -110,7 +110,10 @@ class MpiIo(StagingLibrary):
         fs = self.cluster.lustre
         with fs._mds.request() as req:
             yield req
-            yield self.env.timeout(count * fs.spec.mds_op_time)
+            env = self.env
+            yield env.timeout_at_tick(env._now_tick + round(
+                count * fs.spec.mds_op_time * cal._TICK_SCALE
+            ))
 
     def put(
         self,

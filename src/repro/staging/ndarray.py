@@ -23,6 +23,9 @@ from ..hpc.failures import DimensionOverflow
 from ..hpc.units import UINT32_MAX
 
 
+_region_set = object.__setattr__
+
+
 @dataclass(frozen=True)
 class Region:
     """A half-open n-dimensional box: ``lb[i] <= x < ub[i]``."""
@@ -49,9 +52,11 @@ class Region:
 
     @property
     def num_elements(self) -> int:
-        count = 1
-        for extent in self.shape:
-            count *= extent
+        lb = self.lb
+        ub = self.ub
+        count = ub[0] - lb[0]
+        for i in range(1, len(lb)):
+            count *= ub[i] - lb[i]
         return count
 
     @property
@@ -59,21 +64,51 @@ class Region:
         return self.num_elements == 0
 
     def intersect(self, other: "Region") -> Optional["Region"]:
-        """The overlapping box, or None when disjoint/empty."""
-        if other.ndim != self.ndim:
+        """The overlapping box, or None when disjoint/empty.
+
+        Access-plan construction calls this for every (processor
+        region, server region) pair — hundreds of thousands of times
+        per campaign — so it is written as one flat loop with an early
+        disjoint exit, and builds the result without re-validating
+        bounds (an intersection of valid regions is valid).
+        """
+        slb = self.lb
+        sub = self.ub
+        olb = other.lb
+        oub = other.ub
+        n = len(slb)
+        if len(olb) != n:
             raise ValueError("rank mismatch in intersect")
-        lb = tuple(max(a, b) for a, b in zip(self.lb, other.lb))
-        ub = tuple(min(a, b) for a, b in zip(self.ub, other.ub))
-        if any(l >= u for l, u in zip(lb, ub)):
-            return None
-        return Region(lb, ub)
+        lb = []
+        ub = []
+        for i in range(n):
+            low = slb[i]
+            b = olb[i]
+            if b > low:
+                low = b
+            high = sub[i]
+            b = oub[i]
+            if b < high:
+                high = b
+            if low >= high:
+                return None
+            lb.append(low)
+            ub.append(high)
+        region = object.__new__(Region)
+        _region_set(region, "lb", tuple(lb))
+        _region_set(region, "ub", tuple(ub))
+        return region
 
     def contains(self, other: "Region") -> bool:
         """Whether ``other`` lies entirely inside this region."""
-        return all(
-            sl <= ol and ou <= su
-            for sl, ol, ou, su in zip(self.lb, other.lb, other.ub, self.ub)
-        )
+        slb = self.lb
+        sub = self.ub
+        olb = other.lb
+        oub = other.ub
+        for i in range(len(slb)):
+            if olb[i] < slb[i] or sub[i] < oub[i]:
+                return False
+        return True
 
     def translate(self, offset: Tuple[int, ...]) -> "Region":
         """The region shifted by ``offset``."""

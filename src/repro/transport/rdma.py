@@ -86,8 +86,9 @@ class RdmaTransport(Transport):
         src_registered: bool = False,
         dst_registered: bool = False,
     ) -> Generator:
-        yield from self._ensure_credential(src)
-        yield from self._ensure_credential(dst)
+        if self.cluster.drc is not None:
+            yield from self._ensure_credential(src)
+            yield from self._ensure_credential(dst)
 
         # Transient registrations for any side without a resident buffer.
         # uGNI acquires synchronously and fails hard on exhaustion.

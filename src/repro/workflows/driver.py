@@ -12,6 +12,7 @@ the paper's figures do.
 
 from __future__ import annotations
 
+import gc
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
@@ -20,7 +21,7 @@ from ..hpc.cluster import Cluster
 from ..hpc.failures import HpcError
 from ..hpc.machines import MachineSpec, get_machine
 from ..sim import Environment, TimeSeries
-from ..sim.engine import EXACT_TIME_LIMIT
+from ..sim.engine import EXACT_TICK_LIMIT, _TICK
 from ..staging import calibration as cal
 from ..staging.base import ClusterPlan, StagingLibrary
 from ..staging.decomposition import application_decomposition
@@ -72,12 +73,16 @@ class _SteadyController:
     put/get record stream and memory-series sample windows, and the
     client memory totals.  When two consecutive boundary fingerprints
     match modulo one clock translation Δ — every actor's phase times
-    shifted by the *same* exact float Δ — the orbit provably repeats
-    (all delays sit on the 2^-32 s tick grid, where translation by a
-    grid multiple is an exact float identity below
-    :data:`~repro.sim.engine.EXACT_TIME_LIMIT`).  The controller then
-    stops the actors one step past the furthest actor's progress and
-    the remaining iterations are replayed as exact translates.
+    shifted by the *same* integer tick count Δ — the orbit provably
+    repeats.  Boundary closes and phase ends are captured as integer
+    ticks, so translation is literally ``t + Δ`` in 64-bit integers:
+    no float-identity argument is needed, and projecting any translated
+    tick back to seconds (one exact ``tick * 2**-32`` multiply below
+    :data:`~repro.sim.engine.EXACT_TICK_LIMIT`) reproduces the floats
+    an un-fast-forwarded run would have produced bit for bit.  The
+    controller then stops the actors one step past the furthest actor's
+    progress and the remaining iterations are replayed as exact
+    translates.
     """
 
     def __init__(self, env, library, steps, warmup, n_actors,
@@ -95,7 +100,8 @@ class _SteadyController:
         self.done: Dict[int, int] = {}        # step -> actors completed
         self.boundaries: Dict[int, dict] = {}
         self.cutoff: Optional[int] = None
-        self.delta: Optional[float] = None
+        self.delta: Optional[int] = None      # period, in integer ticks
+        self._delta_f: float = 0.0            # exact seconds projection of delta
         self.confirm: Optional[int] = None    # step s of the matched pair (s-1, s)
         self.fail: Optional[str] = None       # permanent decline reason
 
@@ -119,7 +125,7 @@ class _SteadyController:
         if self.series is None:
             self.series = self._series_fn()
         return dict(
-            close=self.env.now,
+            close=self.env._now_tick,
             snapshot=self.env.steady_snapshot(),
             state=self.library.steady_state(step),
             totals=tuple(t.total for t in self.trackers),
@@ -141,16 +147,18 @@ class _SteadyController:
         if cutoff > self.steps - 2:
             self.fail = "steady: orbit confirmed too late to skip any step"
             return
-        if self.env.now + (self.steps - cutoff) * delta >= EXACT_TIME_LIMIT:
+        if (self.env._now_tick + (self.steps - cutoff) * delta
+                >= EXACT_TICK_LIMIT):
             self.fail = ("steady: fast-forward horizon exceeds the "
                          "exact-arithmetic window")
             return
         self.confirm = step
         self.delta = delta
+        self._delta_f = delta * _TICK
         self.cutoff = cutoff
 
-    def _match(self, a: int, b: int, strict: bool = True) -> Optional[float]:
-        """Δ if boundary ``b`` is boundary ``a`` translated, else None.
+    def _match(self, a: int, b: int, strict: bool = True) -> Optional[int]:
+        """Tick Δ if boundary ``b`` is boundary ``a`` translated, else None.
 
         ``strict`` additionally compares the pending-event queue, the
         library state and client memory totals — valid only while every
@@ -165,7 +173,7 @@ class _SteadyController:
         if fpa is None or fpb is None:
             return None
         delta = fpb["close"] - fpa["close"]
-        if delta <= 0.0:
+        if delta <= 0:
             return None
         # One global Δ across every actor and phase: per-actor periods
         # that merely pair up per actor still drift relative to each
@@ -190,6 +198,11 @@ class _SteadyController:
         j1, j2 = fpa["tap"], fpb["tap"]
         if j1 - j0 != j2 - j1 or tap[j0:j1] != tap[j1:j2]:
             return None
+        # Series timestamps are floats; Δ projects to seconds exactly
+        # (one multiply), and adding that grid multiple to an on-grid
+        # float is exact, so the float comparison decides exactly the
+        # same predicate as its tick-domain counterpart.
+        delta_f = delta * _TICK
         for k, s_obj in enumerate(self.series):
             i0 = self.boundaries[a - 1]["series"][k] if a > 0 else 0
             i1 = fpa["series"][k]
@@ -198,19 +211,19 @@ class _SteadyController:
                 return None
             times, values = s_obj._times, s_obj._values
             for off in range(i1 - i0):
-                if (times[i0 + off] + delta != times[i1 + off]
+                if (times[i0 + off] + delta_f != times[i1 + off]
                         or values[i0 + off] != values[i1 + off]):
                     return None
         return delta
 
-    def _phase_delta(self, a: int, b: int) -> Optional[float]:
-        """Δ from phase translation alone (no window comparisons)."""
+    def _phase_delta(self, a: int, b: int) -> Optional[int]:
+        """Tick Δ from phase translation alone (no window comparisons)."""
         fpa = self.boundaries.get(a)
         fpb = self.boundaries.get(b)
         if fpa is None or fpb is None:
             return None
         delta = fpb["close"] - fpa["close"]
-        if delta <= 0.0:
+        if delta <= 0:
             return None
         for plist in self.phases.values():
             if len(plist) <= b or len(plist[a]) != len(plist[b]):
@@ -232,8 +245,9 @@ class _SteadyController:
         stream: the rest of the cutoff window, ``skipped - 1`` full
         periodic windows, and the final partial window — reproducing
         the exact run's addition/sample order fold for fold.  Everything
-        translates by multiples of Δ accumulated additively; all values
-        sit on the tick grid, where that arithmetic is exact.
+        translates by integer multiples of the tick Δ — a plain 64-bit
+        shift — and only the final values are projected to seconds, one
+        exact multiply each.
         """
         for b in range(self.confirm + 1, self.cutoff):
             if self._match(b - 1, b, strict=False) != self.delta:
@@ -269,7 +283,9 @@ class _SteadyController:
             stream = full[len(part):] + full * (skipped - 1) + full[:len(part)]
             for _, nbytes, elapsed in stream:
                 record(nbytes, elapsed)
-        # Memory series: same shape, with timestamps translated.
+        # Memory series: same shape, with timestamps translated by the
+        # exact seconds projection of each accumulated tick shift.
+        delta_f = self._delta_f
         for k, s_obj in enumerate(self.series):
             i0 = self.boundaries[self.cutoff - 2]["series"][k]
             i1 = self.boundaries[self.cutoff - 1]["series"][k]
@@ -281,7 +297,7 @@ class _SteadyController:
                     f"series {k} cutoff window exceeds the periodic window"
                 )
             for off in range(part_n):
-                if (times[i0 + off] + delta != times[i1 + off]
+                if (times[i0 + off] + delta_f != times[i1 + off]
                         or values[i0 + off] != values[i1 + off]):
                     raise _SteadyDiverged(
                         f"series {k} cutoff window is not a prefix of the "
@@ -289,22 +305,24 @@ class _SteadyController:
                     )
             w_times = times[i0:i1]
             w_values = values[i0:i1]
-            offset = delta
+            shift = delta
+            offset = shift * _TICK
             for t, v in zip(w_times[part_n:], w_values[part_n:]):
                 s_obj.record(t + offset, v)
             for _ in range(skipped - 1):
-                offset += delta
+                shift += delta
+                offset = shift * _TICK
                 for t, v in zip(w_times, w_values):
                     s_obj.record(t + offset, v)
-            offset += delta
+            shift += delta
+            offset = shift * _TICK
             for t, v in zip(w_times[:part_n], w_values[:part_n]):
                 s_obj.record(t + offset, v)
-        # Per-actor completion: repeated additions of Δ, never n·Δ.
+        # Per-actor completion: one integer shift per actor, projected
+        # to seconds with a single exact multiply.
         finish["sim"] = finish["ana"] = 0.0
         for actor, plist in self.phases.items():
-            t = plist[self.cutoff][-1]
-            for _ in range(skipped):
-                t += delta
+            t = (plist[self.cutoff][-1] + skipped * delta) * _TICK
             key = "sim" if actor.startswith("sim") else "ana"
             finish[key] = max(finish[key], t)
         return max(finish["sim"], finish["ana"])
@@ -316,7 +334,7 @@ class _IndependentSteady:
     Without a staging library the actors share nothing: each loop is a
     fixed compute timeout, so an actor's own period — two consecutive
     equal step durations past the warm-up — proves its orbit without a
-    global cut, and sim/ana may fast-forward with different Δs.
+    global cut, and sim/ana may fast-forward with different tick Δs.
     """
 
     fail: Optional[str] = None
@@ -324,9 +342,9 @@ class _IndependentSteady:
     def __init__(self, steps: int, warmup: int = 1) -> None:
         self.steps = steps
         self.warmup = warmup
-        self.ends: Dict[str, list] = {}
+        self.ends: Dict[str, list] = {}       # actor -> end tick per step
         self.cutoffs: Dict[str, int] = {}
-        self.deltas: Dict[str, float] = {}
+        self.deltas: Dict[str, int] = {}      # actor -> period in ticks
         self.engaged = False
 
     def stop(self, actor: str, step: int) -> bool:
@@ -340,9 +358,9 @@ class _IndependentSteady:
             return
         d1 = ends[step] - ends[step - 1]
         d0 = ends[step - 1] - ends[step - 2]
-        if d1 != d0 or d1 <= 0.0 or step + 1 > self.steps - 2:
+        if d1 != d0 or d1 <= 0 or step + 1 > self.steps - 2:
             return
-        if ends[step] + (self.steps - step) * d1 >= EXACT_TIME_LIMIT:
+        if ends[step] + (self.steps - step) * d1 >= EXACT_TICK_LIMIT:
             return
         self.cutoffs[actor] = step + 1
         self.deltas[actor] = d1
@@ -353,14 +371,12 @@ class _IndependentSteady:
         for actor, ends in self.ends.items():
             cutoff = self.cutoffs.get(actor)
             if cutoff is None:
-                t = ends[-1]
+                t = ends[-1] * _TICK
             else:
                 delta = self.deltas[actor]
                 if len(ends) <= cutoff or ends[cutoff] - ends[cutoff - 1] != delta:
                     raise _SteadyDiverged(f"{actor} period drifted after confirmation")
-                t = ends[cutoff]
-                for _ in range(self.steps - 1 - cutoff):
-                    t += delta
+                t = (ends[cutoff] + (self.steps - 1 - cutoff) * delta) * _TICK
             key = "sim" if actor.startswith("sim") else "ana"
             finish[key] = max(finish[key], t)
         return max(finish["sim"], finish["ana"])
@@ -582,17 +598,30 @@ def run_coupled(
                     result.recovery_events = library.recovery_events
         return result
 
+    # The event loop allocates millions of short-lived objects whose
+    # lifetimes end by refcount alone; the cycle collector's generation
+    # scans over them cost ~15% of a run and never free anything until
+    # the run is over (the only cycles are process/event back-references
+    # that die with the environment).  Pause it for the simulation; the
+    # survivors fall out of the next natural collection.
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
     try:
-        result = _attempt(fidelity)
-    except _SteadyDiverged as exc:
-        # Safety net: the confirmed orbit failed replay-time
-        # verification.  Rerun the whole configuration (fresh
-        # environment, cluster and library) without the fast-forward —
-        # a false engagement costs time, never correctness.
-        result = _attempt(
-            "clustered" if fidelity == "steady+clustered" else "exact"
-        )
-        result.fidelity_fallback = f"steady: {exc}"
+        try:
+            result = _attempt(fidelity)
+        except _SteadyDiverged as exc:
+            # Safety net: the confirmed orbit failed replay-time
+            # verification.  Rerun the whole configuration (fresh
+            # environment, cluster and library) without the fast-forward
+            # — a false engagement costs time, never correctness.
+            result = _attempt(
+                "clustered" if fidelity == "steady+clustered" else "exact"
+            )
+            result.fidelity_fallback = f"steady: {exc}"
+    finally:
+        if was_enabled:
+            gc.enable()
 
     if cache_key is not None:
         from ..core import runcache
@@ -809,7 +838,7 @@ def _execute(
             t0 = env.now
             yield env.timeout(sim_compute)
             mark(name, "compute", t0)
-            compute_end = env.now
+            compute_end = env._now_tick
             if library is not None:
                 buffer = persistent_buffer or tracker.allocate(
                     library.client_buffer_mult * bytes_per_sim_proc,
@@ -824,7 +853,7 @@ def _execute(
                 if buffer is not persistent_buffer:
                     tracker.free(buffer)
             if steady is not None:
-                steady.record(name, step, (compute_end, env.now))
+                steady.record(name, step, (compute_end, env._now_tick))
         finish["sim"] = max(finish["sim"], env.now)
 
     def ana_actor(j: int):
@@ -852,13 +881,16 @@ def _execute(
                 t0 = env.now
                 yield env.process(library.get(j, read_regions[j], step))
                 mark(name, "get", t0)
-                get_end = env.now
+                get_end = env._now_tick
                 tracker.free(buffer)
             t0 = env.now
             yield env.timeout(ana_compute)
             mark(name, "compute", t0)
             if steady is not None:
-                phases = (env.now,) if get_end is None else (get_end, env.now)
+                phases = (
+                    (env._now_tick,) if get_end is None
+                    else (get_end, env._now_tick)
+                )
                 steady.record(name, step, phases)
         finish["ana"] = max(finish["ana"], env.now)
 

@@ -61,8 +61,11 @@ class TestParallelStudy:
             {"fig8": Study().experiments()["fig8"]}, jobs=2, report_path=path
         )
         payload = json.loads(open(path).read())
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert payload["jobs"] == 2
+        assert payload["requested_jobs"] == 2
+        # clamped to os.cpu_count() on small hosts, never above request
+        assert 1 <= payload["effective_jobs"] <= 2
         assert payload["quarantined"] == 0
         assert isinstance(payload["tasks"], list)
         assert all(

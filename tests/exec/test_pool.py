@@ -1,10 +1,12 @@
 """Worker pool: parallel correctness, crash retry, quarantine, cache."""
 
+import os
+
 import pytest
 
 from repro.core import runcache
 from repro.exec.plan import PlannedTask
-from repro.exec.pool import WorkerPool
+from repro.exec.pool import WorkerPool, effective_jobs
 from repro.workflows import run_coupled
 
 pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
@@ -27,6 +29,23 @@ def baseline_spec(nsim, **extra):
 
 def task(key, spec):
     return PlannedTask(key=key, spec=spec, experiments=["t"], refs=1)
+
+
+class TestEffectiveJobs:
+    def test_clamps_to_cpu_count(self):
+        cores = os.cpu_count() or 1
+        assert effective_jobs(10 * cores + 1) == cores
+
+    def test_small_requests_pass_through(self):
+        assert effective_jobs(1) == 1
+
+    def test_never_below_one(self):
+        assert effective_jobs(0) == 1
+        assert effective_jobs(-3) == 1
+
+    def test_pool_records_effective(self):
+        pool = WorkerPool(jobs=10 * (os.cpu_count() or 1))
+        assert pool.effective == (os.cpu_count() or 1)
 
 
 class TestPoolExecution:

@@ -20,16 +20,23 @@ optimizations move.  Modes:
   calendar queue against PR 4's binary heap on synthetic event
   streams (same-tick cascades, short-horizon uniform, wide-horizon),
   events/sec per structure under the ``engine`` key;
+* ``--batch-ab``   — the batch-actor A/B: configurations whose batch
+  certificates engage, run with the compilation off and on (same
+  numbers, so the delta is pure event-machinery cost), recording
+  wall-clock, event counts and the speedup per configuration;
 * ``--gate PATH``  — the CI perf gate: re-measure the ``--full``
   figures and the chaos campaign, exit non-zero if a figure regresses
-  more than 25 % in wall time or chaos events/sec drops more than
-  25 % against the committed baseline at ``PATH``.
+  more than 25 % in wall time, coupled events/sec drops more than
+  25 % (figures or chaos) against the committed baseline at ``PATH``,
+  or ``fig2a_full`` falls below the absolute
+  :data:`COUPLED_EPS_FLOOR`.
 
 Schema 2 adds ``events_per_second`` per figure — the
 machine-independent throughput number (wall seconds vary with the
 host; events are deterministic).  Schema 3 adds the ``engine``
 microbenchmark section and ``events_per_second`` to the ``chaos``
-entry (now part of the gate).
+entry (now part of the gate).  Schema 4 adds the ``batch_ab`` section
+and gates the figures' events/sec too.
 
 The run cache is cleared before every experiment so timings measure
 simulation, not memoization.  Results merge into the output JSON, so
@@ -274,9 +281,88 @@ def engine_bench(n_ops: int = 200_000, seed: int = 1234) -> Dict[str, object]:
     return results
 
 
+# ----------------------------------------------------- batch actor A/B
+
+#: configurations whose batch certificates engage (see
+#: tests/workflows/test_batch_actors.py) at a step count long enough
+#: for the per-step event machinery to dominate the boot phase
+_BATCH_AB_CONFIGS = {
+    "dataspaces_matched_titan": dict(
+        machine="titan", method="dataspaces", workflow="synthetic",
+        nsim=8, nana=8, num_servers=8, transport="ugni", app_axis=0,
+        topology_overrides=dict(sim_ranks_per_node=1, ana_ranks_per_node=1),
+        steps=1000, fidelity="clustered",
+    ),
+    "decaf_islands_cori": dict(
+        machine="cori", method="decaf", nsim=512, nana=512,
+        steps=1000, fidelity="clustered",
+    ),
+}
+
+
+def batch_ab_bench() -> Dict[str, object]:
+    """A/B the batch-actor compilation on configurations it certifies.
+
+    Both arms produce float-identical results (asserted), so the
+    wall/event deltas measure exactly what the compilation removes:
+    the per-rank generator chains' event traffic.
+    """
+    from repro.staging.ndarray import Variable
+    from repro.workflows import run_coupled
+
+    results: Dict[str, object] = {}
+    for ident, config in _BATCH_AB_CONFIGS.items():
+        kwargs = dict(config)
+        if kwargs.get("workflow") == "synthetic":
+            kwargs["variable"] = Variable("v", (8192, 64))
+        arms = {}
+        outputs = {}
+        for arm, batch in (("per_rank", False), ("batch", True)):
+            runcache.clear()
+            with EventCounter() as counter:
+                start = time.perf_counter()
+                result = run_coupled(batch_actors=batch, **kwargs)
+                elapsed = time.perf_counter() - start
+            arms[arm] = {
+                "seconds": round(elapsed, 3),
+                "events": counter.count,
+                "fidelity": result.fidelity,
+            }
+            outputs[arm] = (
+                result.end_to_end, result.put_time, result.get_time,
+                result.bytes_staged,
+            )
+        assert outputs["per_rank"] == outputs["batch"], ident
+        assert arms["batch"]["fidelity"] == "clustered+batch", ident
+        arms["identical"] = True
+        arms["event_reduction"] = round(
+            arms["per_rank"]["events"] / max(1, arms["batch"]["events"]), 1
+        )
+        arms["speedup"] = round(
+            arms["per_rank"]["seconds"] / arms["batch"]["seconds"], 2
+        ) if arms["batch"]["seconds"] > 0 else float("inf")
+        results[ident] = arms
+        print(f"batch-ab/{ident:26s} per-rank "
+              f"{arms['per_rank']['seconds']:6.2f} s "
+              f"{arms['per_rank']['events']:>10,} ev   batch "
+              f"{arms['batch']['seconds']:6.2f} s "
+              f"{arms['batch']['events']:>8,} ev   "
+              f"({arms['event_reduction']}x fewer events)")
+    return results
+
+
 #: CI fails when a gated figure's wall time exceeds baseline by this
 GATE_TOLERANCE = 0.25
 GATED_FIGURES = ("fig2a_full", "fig2b_full")
+
+#: absolute coupled-throughput floor for fig2a_full (ev/s).  Set to
+#: the value achieved when the vectorized batch-actor engine landed
+#: (~245k ev/s less run-to-run noise): Figure 2's own configurations
+#: are the asymmetric, contended ones whose batch certificates
+#: correctly decline, so their throughput gates the *per-event* cost
+#: of the exact machinery, not the compilation win (see ``batch_ab``
+#: for that).
+COUPLED_EPS_FLOOR = 180_000
 
 
 def perf_gate(
@@ -286,11 +372,12 @@ def perf_gate(
 ) -> int:
     """Compare measured perf against the committed baseline.
 
-    Figures gate on wall time (must not grow past the tolerance);
-    the chaos campaign gates on events/sec (must not drop past it).
-    Returns the number of regressions beyond :data:`GATE_TOLERANCE`.
-    A missing baseline entry is a hard failure too — the gate must
-    never pass vacuously.
+    Figures gate on wall time (must not grow past the tolerance) and
+    on coupled events/sec (must not drop past it, and ``fig2a_full``
+    must additionally clear the absolute :data:`COUPLED_EPS_FLOOR`);
+    the chaos campaign gates on events/sec.  Returns the number of
+    regressions beyond :data:`GATE_TOLERANCE`.  A missing baseline
+    entry is a hard failure too — the gate must never pass vacuously.
     """
     with open(baseline_path) as fh:
         payload = json.load(fh)
@@ -309,6 +396,27 @@ def perf_gate(
               f"({ratio:.0%} of baseline, tolerance "
               f"{1.0 + GATE_TOLERANCE:.0%})")
         if ratio > 1.0 + GATE_TOLERANCE:
+            failures += 1
+        base_eps = baseline[ident].get("events_per_second")
+        if not base_eps:
+            print(f"GATE FAIL {ident}: no events_per_second baseline in "
+                  f"{baseline_path}")
+            failures += 1
+            continue
+        now_eps = measured[ident]["events_per_second"]
+        eps_ratio = now_eps / base_eps
+        verdict = "ok" if eps_ratio >= 1.0 - GATE_TOLERANCE else "GATE FAIL"
+        print(f"{verdict:9s} {ident}: {now_eps:,.0f} ev/s vs baseline "
+              f"{base_eps:,.0f} ev/s ({eps_ratio:.0%} of baseline, floor "
+              f"{1.0 - GATE_TOLERANCE:.0%})")
+        if eps_ratio < 1.0 - GATE_TOLERANCE:
+            failures += 1
+    if COUPLED_EPS_FLOOR is not None:
+        now_eps = measured["fig2a_full"]["events_per_second"]
+        verdict = "ok" if now_eps >= COUPLED_EPS_FLOOR else "GATE FAIL"
+        print(f"{verdict:9s} fig2a_full: {now_eps:,.0f} ev/s vs absolute "
+              f"floor {COUPLED_EPS_FLOOR:,.0f} ev/s")
+        if now_eps < COUPLED_EPS_FLOOR:
             failures += 1
     base_eps = payload.get("chaos", {}).get("events_per_second")
     if not base_eps:
@@ -334,7 +442,7 @@ def _merge_existing(path: str, report: Dict) -> Dict:
             existing = json.load(fh)
     except (OSError, json.JSONDecodeError):
         return report
-    for key in ("figures", "jobs_sweep", "chaos", "engine"):
+    for key in ("figures", "jobs_sweep", "chaos", "engine", "batch_ab"):
         if key in existing and key not in report:
             report[key] = existing[key]
     return report
@@ -354,6 +462,9 @@ def main(argv=None) -> int:
     group.add_argument("--engine", action="store_true",
                        help="the event-core microbenchmark: calendar "
                             "queue vs binary heap on synthetic streams")
+    group.add_argument("--batch-ab", action="store_true",
+                       help="A/B the batch-actor compilation (off vs on) "
+                            "on configurations its certificates engage")
     group.add_argument("--gate", metavar="BASELINE",
                        help="CI perf gate: rerun the --full figures and "
                             "the chaos campaign; fail on a >25%% "
@@ -364,7 +475,7 @@ def main(argv=None) -> int:
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
 
-    report: Dict[str, object] = {"schema": 3, "cpus": os.cpu_count()}
+    report: Dict[str, object] = {"schema": 4, "cpus": os.cpu_count()}
     if args.jobs_sweep:
         report["mode"] = "jobs-sweep"
         report["jobs_sweep"] = jobs_sweep()
@@ -377,6 +488,11 @@ def main(argv=None) -> int:
         report["mode"] = "engine"
         start = time.perf_counter()
         report["engine"] = engine_bench()
+        total = time.perf_counter() - start
+    elif args.batch_ab:
+        report["mode"] = "batch-ab"
+        start = time.perf_counter()
+        report["batch_ab"] = batch_ab_bench()
         total = time.perf_counter() - start
     else:
         if args.gate:

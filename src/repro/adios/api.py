@@ -78,7 +78,7 @@ class AdiosFile:
         """Process: adios_close."""
         self._check_open()
         self.closed = True
-        yield self.adios.cluster.env.timeout(0)
+        yield self.adios.cluster.env.pause(0)
 
 
 class Adios:

@@ -60,7 +60,7 @@ def _resolve_out_of_rdma() -> Optional[str]:
 
     def holder(env):
         handle = pool.register(90 * MB)
-        yield env.timeout(2)
+        yield env.pause(2)
         pool.deregister(handle)
 
     def retrier(env):

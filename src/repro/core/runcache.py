@@ -51,8 +51,10 @@ from typing import Any, Dict, Optional
 
 #: bump when simulation semantics change so stale disk entries miss
 #: (3 -> 4: event times quantized to the 2^-32 s tick grid for the
-#: steady-state fast-forward; pre-grid cached timings are stale)
-SCHEMA_VERSION = 4
+#: steady-state fast-forward; pre-grid cached timings are stale.
+#: 4 -> 5: ``batch_actors`` joined the key inputs and results carry
+#: ``batch_fallback``; pre-batch pickles miss the field)
+SCHEMA_VERSION = 5
 
 
 def _canonical(value: Any) -> Any:

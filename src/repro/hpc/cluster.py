@@ -34,6 +34,7 @@ class Cluster:
         self.spec = spec
         self._nodes: Dict[int, Node] = {}
         self._links: Dict[tuple, Link] = {}
+        self._rates_frozen = False
         self.topology = make_topology(spec.interconnect.topology, spec.num_nodes)
         self.lustre = LustreFilesystem(env, spec.lustre)
         self.drc: Optional[DrcService] = (
@@ -41,6 +42,22 @@ class Cluster:
             if spec.interconnect.requires_drc
             else None
         )
+
+    def freeze_rates(self) -> None:
+        """Promise no pipe rate changes for the rest of the run.
+
+        Freezes the Lustre OSTs and every node's NIC and memory-bus
+        pipe — including nodes created later, since they are built
+        lazily on first touch.  The driver arms this for every run
+        without a fault plan: a :class:`~repro.chaos.faults.FaultPlan`
+        is the only mechanism that can ``degrade()`` a rate mid-run,
+        so everything else may run the eventless arithmetic chains.
+        """
+        self._rates_frozen = True
+        self.lustre.freeze_rates()
+        for node in self._nodes.values():
+            node.nic.freeze_rate()
+            node.membus.freeze_rate()
 
     def node(self, node_id: int) -> Node:
         """The node with ``node_id``, created on first use."""
@@ -52,6 +69,9 @@ class Cluster:
         node = self._nodes.get(node_id)
         if node is None:
             node = Node(self.env, node_id, self.spec.node)
+            if self._rates_frozen:
+                node.nic.freeze_rate()
+                node.membus.freeze_rate()
             self._nodes[node_id] = node
         return node
 

@@ -96,7 +96,7 @@ class DrcService:
         try:
             with self._server.request() as req:
                 yield req
-                yield self.env.timeout(self.service_time)
+                yield self.env.pause(self.service_time)
         finally:
             self._pending -= 1
 

@@ -107,5 +107,5 @@ def stage_from_gpu_direct(
     """
     nbytes = library.variable.region_bytes(region)
     fabric_time = library._wire_bytes(nbytes) / fabric_bw
-    yield gpu.env.timeout(fabric_time)
+    yield gpu.env.pause(fabric_time)
     yield from library.put(sim_actor, region, version)

@@ -136,7 +136,7 @@ class LustreFilesystem:
             raise ValueError(f"invalid stripe_count {stripe_count}")
         with self._mds.request() as req:
             yield req
-            yield self.env.timeout(self.spec.mds_op_time)
+            yield self.env.pause(self.spec.mds_op_time)
         first_ost = self._next_ost
         self._next_ost = (self._next_ost + stripe_count) % self.spec.num_osts
         self.files_created += 1

@@ -71,10 +71,13 @@ class BandwidthPipe:
     def freeze_rate(self) -> None:
         """Promise the rate never changes for the rest of the run.
 
-        Unlocks :meth:`enqueue_runs_end`, the eventless arithmetic form
-        of the burst chain; :meth:`degrade` refuses afterwards.  The
-        driver freezes the Lustre pipes of every run without a fault
-        plan — the only mechanism that can change an OST rate mid-run.
+        Unlocks the arithmetic chain forms — :meth:`enqueue_runs_end`
+        and the frozen fast paths of :meth:`transmit` /
+        :meth:`transmit_many` — and :meth:`degrade` refuses afterwards.
+        The driver freezes *every* pipe of a run without a fault plan
+        (see :meth:`~repro.hpc.cluster.Cluster.freeze_rates`): a
+        :class:`~repro.chaos.faults.FaultPlan` is the only mechanism
+        that can change a rate mid-run.
         """
         self._rate_frozen = True
 
@@ -116,16 +119,61 @@ class BandwidthPipe:
         """Pure serialization time for ``nbytes`` (no queueing)."""
         return nbytes / self.rate
 
-    def transmit(self, nbytes: float) -> Generator:
-        """Process: occupy the pipe for ``nbytes`` worth of time."""
+    def claim_frozen(self, nbytes: float, now_tick: int) -> int:
+        """Arithmetically claim the frozen FIFO slot; the completion tick.
+
+        The event-free core of the frozen :meth:`transmit` path, exposed
+        so batch-actor compilers can run a whole chain of transfers as
+        integer arithmetic: same stats additions, same
+        ``max(chain end, arrival) + quantized duration`` completion
+        tick, no events.  Callers must present arrivals in the order
+        the per-rank run's claims would occur (FIFO claim order is call
+        order); ``now_tick`` is the arrival tick of this transfer.
+        """
+        duration = nbytes / self.rate
+        self.bytes_moved += nbytes
+        self.busy_time += duration
+        start = self._chain_end_tick
+        if start < now_tick:
+            start = now_tick
+        end = start + round(duration * _TICK_SCALE)
+        self._chain_end_tick = end
+        return end
+
+    def transmit(self, nbytes: float, tail_ticks: int = 0) -> Generator:
+        """Process: occupy the pipe for ``nbytes`` worth of time.
+
+        With the rate frozen the FIFO queue collapses into one integer
+        (the chain's end tick): the caller's grant instant is forced —
+        ``max(chain end, now)`` — and its duration is grant-invariant,
+        so claiming the slot arithmetically at call time reproduces the
+        request/grant path's completion tick and stats additions (FIFO
+        claim order *is* call order) with a single completion event in
+        place of the request, grant and timeout machinery.
+
+        ``tail_ticks`` folds a fixed post-transfer latency (e.g. a
+        completion RPC the caller would otherwise sleep on separately)
+        into the completion event: the pipe is released at the transfer
+        end exactly as before — only the caller's wake-up moves — so a
+        queued next transfer still starts on time.
+        """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
+        env = self.env
+        if self._rate_frozen:
+            end = self.claim_frozen(nbytes, env._now_tick)
+            yield env.timeout_at_tick(end + tail_ticks)
+            return
         with self._res.request() as req:
             yield req
             duration = self.transfer_time(nbytes)
-            yield self.env.timeout(duration)
+            yield self.env.pause(duration)
             self.bytes_moved += nbytes
             self.busy_time += duration
+        if tail_ticks:
+            # After the with-block: the pipe slot is already released,
+            # so the trailing sleep delays only this caller.
+            yield env.timeout_at_tick(env._now_tick + tail_ticks)
 
     def transmit_many(self, chunks) -> Generator:
         """Process: occupy the pipe for several transfers back to back.
@@ -137,8 +185,25 @@ class BandwidthPipe:
         cycles.  The total duration accumulates chunk by chunk *without*
         touching the absolute clock, so the burst length is a pure
         function of the chunk sizes — step-invariant, which the
-        steady-state fast-forward relies on.
+        steady-state fast-forward relies on.  Frozen pipes skip the
+        request cycle entirely (same argument as :meth:`transmit`).
         """
+        if self._rate_frozen:
+            total = 0.0
+            for nbytes in chunks:
+                duration = self.transfer_time(nbytes)
+                total += duration
+                self.bytes_moved += nbytes
+                self.busy_time += duration
+            start = self._chain_end_tick
+            env = self.env
+            now_tick = env._now_tick
+            if start < now_tick:
+                start = now_tick
+            end = start + round(total * _TICK_SCALE)
+            self._chain_end_tick = end
+            yield env.timeout_at_tick(end)
+            return
         with self._res.request() as req:
             yield req
             total = 0.0
@@ -252,13 +317,18 @@ class Link:
         self.latency = latency
         self.overhead_factor = overhead_factor
 
-    def send(self, nbytes: float) -> Generator:
-        """Process: move ``nbytes`` from src to dst."""
+    def send(self, nbytes: float, tail_ticks: int = 0) -> Generator:
+        """Process: move ``nbytes`` from src to dst.
+
+        ``tail_ticks`` rides on the *last* pipe crossing (see
+        :meth:`BandwidthPipe.transmit`): pipe hold times and release
+        instants are unchanged; only the sender's wake-up is delayed.
+        """
         effective = nbytes * self.overhead_factor
         if self.src is self.dst:
             # Intra-node: only one pipe crossing (a local memory copy).
-            yield from self.src.transmit(effective)
+            yield from self.src.transmit(effective, tail_ticks)
             return
-        yield self.env.timeout(self.latency)
+        yield self.env.pause(self.latency)
         yield self.env.process(self.src.transmit(effective))
-        yield self.env.process(self.dst.transmit(effective))
+        yield self.env.process(self.dst.transmit(effective, tail_ticks))

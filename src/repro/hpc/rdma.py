@@ -124,7 +124,7 @@ class RdmaPool:
                 attempts += 1
                 if attempts > max_retries:
                     raise
-                yield self.env.timeout(retry_interval)
+                yield self.env.pause(retry_interval)
 
     def max_concurrent_registrations(self, request_size: int) -> int:
         """Analytic maximum concurrent registrations of ``request_size``.

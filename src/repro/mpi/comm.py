@@ -113,7 +113,7 @@ class Rank:
         if nbytes > 0:
             yield from link.send(nbytes)
         else:
-            yield self.env.timeout(link.latency)
+            yield self.env.pause(link.latency)
         yield self.comm._mailboxes[dst].put(
             Message(self.index, tag, payload, nbytes)
         )

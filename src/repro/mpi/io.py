@@ -54,7 +54,7 @@ class MpiFile:
         # Each rank's open touches the metadata service.
         with self.fs._mds.request() as req:
             yield req
-            yield env.timeout(self.fs.spec.mds_op_time)
+            yield env.pause(self.fs.spec.mds_op_time)
         if rank.index == 0 and self._handle is None:
             self._handle = yield from self.fs.open(
                 self.path, self.stripe_count, self.stripe_size
@@ -112,6 +112,6 @@ class MpiFile:
         if rank.index == 0:
             with self.fs._mds.request() as req:
                 yield req
-                yield self.comm.env.timeout(self.fs.spec.mds_op_time)
+                yield self.comm.env.pause(self.fs.spec.mds_op_time)
             self.closed = True
         yield from rank.barrier()

@@ -50,7 +50,7 @@ from ._grid import (  # noqa: F401  (re-exported: the public home is here)
     tick_of,
     time_of,
 )
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import AllOf, AnyOf, Event, Timeout, _PooledEvent
 from .process import Process
 
 
@@ -70,7 +70,7 @@ class Environment:
 
     __slots__ = (
         "_now", "_now_tick", "_buckets", "_ticks",
-        "_current", "_pos", "_never",
+        "_current", "_pos", "_never", "_free",
     )
 
     def __init__(self, initial_time: float = 0.0) -> None:
@@ -85,6 +85,13 @@ class Environment:
         self._pos = 0
         #: spill list: events with an infinite delay, which never fire
         self._never: list = []
+        #: free list of recyclable :class:`_PooledEvent` objects —
+        #: events were the top allocator in the fig2 profiles, and the
+        #: internal yield-and-drop kinds (tick deadlines, process
+        #: kick-offs) can be reused instead of constructed fresh.  The
+        #: list self-bounds at the peak number of simultaneously
+        #: pending pooled events.
+        self._free: list = []
 
     @property
     def now(self) -> float:
@@ -181,17 +188,118 @@ class Environment:
         The integer twin of :meth:`timeout_at`: no float round-trip, no
         re-quantization — the tick *is* the deadline.  Used by the
         frozen-rate Lustre chains, whose per-OST completion times are
-        tick arithmetic end to end.
+        tick arithmetic end to end.  Allocates from the free list:
+        callers yield these events and drop them, so :meth:`step`
+        recycles each one after its callbacks have run.
         """
         if tick < self._now_tick:
             raise ValueError(
                 f"timeout_at_tick({tick}) is in the past (now={self._now_tick})"
             )
-        event = Event(self)
-        event._ok = True
-        event._value = value
+        free = self._free
+        if free:
+            event = free.pop()
+            event.callbacks = []
+            event._value = value
+        else:
+            event = _PooledEvent.__new__(_PooledEvent)
+            event.env = self
+            event.callbacks = []
+            event._value = value
+            event._ok = True
+            event._defused = False
         self._insert(tick, event)
         return event
+
+    def pause(self, delay: float, value: Any = None) -> Event:
+        """A pooled :meth:`timeout`: for delays that are yielded and dropped.
+
+        Identical semantics and tick arithmetic to
+        :class:`~repro.sim.events.Timeout` — same quantization, same
+        same-tick FIFO position — but the event comes from (and returns
+        to) the environment's free list, so the hot fixed-latency sleeps
+        (compute phases, RPC latencies, serialize costs) stop paying an
+        allocation each.  Only for yield-and-drop uses: callers must not
+        store the event or read it after it fires.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        free = self._free
+        if free:
+            event = free.pop()
+            event.callbacks = []
+            event._value = value
+        else:
+            event = _PooledEvent.__new__(_PooledEvent)
+            event.env = self
+            event.callbacks = []
+            event._value = value
+            event._ok = True
+            event._defused = False
+        if delay == 0.0:
+            cur = self._current
+            if cur is not None:
+                cur.append(event)
+                return event
+            tick = self._now_tick
+        elif delay == Infinity:
+            self._never.append(event)
+            return event
+        else:
+            tick = self._now_tick + round(delay * _TICK_SCALE)
+        bucket = self._buckets.get(tick)
+        if bucket is None:
+            self._buckets[tick] = [event]
+            heappush(self._ticks, tick)
+        else:
+            bucket.append(event)
+        return event
+
+    def schedule_batch(self, actions) -> Event:
+        """Schedule a precompiled batch of ``(tick, fn)`` actions at once.
+
+        The grouped-timeout primitive behind the vectorized batch
+        actors: a compiler that has already resolved a whole run's
+        event arithmetic hands over its action list — absolute ticks
+        paired with zero-argument side-effect callbacks, sorted
+        non-decreasing — and gets back the final event to yield on.
+        Consecutive actions at the same tick share one pooled event
+        (their callbacks run in list order, which the compiler arranged
+        to match the per-rank run's same-tick FIFO order), so a whole
+        group phase costs a single event instead of one event per rank
+        per hop.  Ticks must start at or after ``now`` and never
+        decrease; violating either is a programming error in the
+        compiler, not a recoverable condition.
+        """
+        last: Optional[Event] = None
+        prev_tick = self._now_tick
+        free = self._free
+        for tick, fn in actions:
+            if tick < prev_tick:
+                raise ValueError(
+                    f"schedule_batch: tick {tick} precedes {prev_tick}"
+                )
+            callback = (lambda _e, _fn=fn: _fn())
+            if last is not None and tick == prev_tick:
+                last.callbacks.append(callback)
+                continue
+            prev_tick = tick
+            if free:
+                event = free.pop()
+                event.callbacks = [callback]
+                event._value = None
+            else:
+                event = _PooledEvent.__new__(_PooledEvent)
+                event.env = self
+                event.callbacks = [callback]
+                event._value = None
+                event._ok = True
+                event._defused = False
+            self._insert(tick, event)
+            last = event
+        if last is None:
+            raise ValueError("schedule_batch: empty action list")
+        return last
 
     def event(self) -> Event:
         """A fresh, untriggered event."""
@@ -280,6 +388,13 @@ class Environment:
         if not event._ok and not event._defused:
             # An unhandled failure: surface it to the caller of run().
             raise event._value
+
+        if event._pool:
+            # Pooled events are yield-and-drop by contract: once their
+            # callbacks have run nothing holds a reference, so they go
+            # back on the free list for the next pause/timeout_at_tick.
+            event._value = None
+            self._free.append(event)
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run until ``until`` (a time, an event, or queue exhaustion).

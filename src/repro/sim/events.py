@@ -28,6 +28,11 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
+    #: class flag (not a slot: set per *class*, read per instance) —
+    #: True only for :class:`_PooledEvent`, whose instances return to
+    #: the environment's free list once their callbacks have run.
+    _pool = False
+
     def __init__(self, env: "Environment") -> None:  # noqa: F821
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -107,6 +112,24 @@ class Event:
     def __repr__(self) -> str:
         state = "triggered" if self.triggered else "pending"
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class _PooledEvent(Event):
+    """A recyclable pre-succeeded event (the environment's free list).
+
+    Allocated only by internal hot paths whose events are yielded and
+    dropped — :meth:`~repro.sim.engine.Environment.timeout_at_tick`,
+    :meth:`~repro.sim.engine.Environment.pause` and process kick-offs —
+    never by anything that stores an event or reads it after it fired.
+    ``Environment.step`` appends these back to the free list after
+    running their callbacks; the next allocation re-initializes
+    ``callbacks`` and ``_value`` (``_ok``/``_defused`` never change on
+    a pre-succeeded event, so they keep their birth values).
+    """
+
+    __slots__ = ()
+
+    _pool = True
 
 
 class Timeout(Event):

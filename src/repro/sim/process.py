@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from .events import Event, Interrupt
+from .events import Event, Interrupt, _PooledEvent
 
 
 class Process(Event):
@@ -28,15 +28,22 @@ class Process(Event):
         self._generator = generator
         self._target: Event | None = None
         # Kick the process off at the current simulation time.  The
-        # kick-off event is built inline (no Event.__init__ call):
-        # process spawns are hot enough in the staging models that the
-        # extra frame shows up in profiles.
-        init = Event.__new__(Event)
-        init.env = env
-        init.callbacks = [self._step]
-        init._value = None
-        init._ok = True
-        init._defused = False
+        # kick-off event comes from the environment's free list (it is
+        # consumed by _step and dropped, never stored): process spawns
+        # are hot enough in the staging models that the allocation
+        # shows up in profiles.
+        free = env._free
+        if free:
+            init = free.pop()
+            init.callbacks = [self._step]
+            init._value = None
+        else:
+            init = _PooledEvent.__new__(_PooledEvent)
+            init.env = env
+            init.callbacks = [self._step]
+            init._value = None
+            init._ok = True
+            init._defused = False
         cur = env._current
         if cur is not None:
             cur.append(init)

@@ -1,0 +1,205 @@
+"""Vectorized batch actors: whole-run compilation of clustered chains.
+
+The clustered fidelity mode already proves that a run's actors split
+into identical, resource-disjoint representative chains (see
+:meth:`~repro.staging.base.StagingLibrary.clustering_plan`).  Under the
+single-version gate window those chains are *fully sequenced*: every
+tick of every step is a closed-form function of the previous phase
+ends, so the per-rank generator machinery — one process per rank, one
+event per hop — simulates nothing that integer arithmetic cannot
+compute up front.
+
+A library that can prove this issues a :class:`BatchPlan` certificate
+from :meth:`~repro.staging.base.StagingLibrary.batch_plan`, and its
+``batch_step`` compiler turns the whole run into a sorted list of
+``(tick, side-effect)`` actions: per-class tick tables are carried as
+``numpy`` int64 arrays, the gate becomes two arrays (publish tick and
+reader-done tick per step), frozen pipes are claimed arithmetically and
+each group phase lands in a single pooled event via
+:meth:`~repro.sim.engine.Environment.schedule_batch`.  The side effects
+call the *same* library methods (staging allocations, eviction sweeps,
+stats records) at the *same* ticks in the *same* same-tick order as the
+per-rank run, which is what makes the result byte-identical.
+
+Compilation is two-phase so a decline is always safe: phase one runs
+every tick recurrence against *shadow* pipe chains and raises
+:class:`BatchDecline` without having mutated anything — the driver then
+falls back to the exact per-rank chains in place; only a fully
+validated schedule applies its pipe claims and counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..sim.engine import _TICK_SCALE
+
+
+class BatchDecline(Exception):
+    """A batch certificate failed its runtime (post-bootstrap) checks.
+
+    Raised by a library's ``batch_step`` compiler; the driver catches it
+    and spawns the exact per-rank chains instead.  Phase-one compilation
+    mutates nothing, so declining is always safe.
+    """
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Static certificate that a clustered run is batch-compilable.
+
+    Issued by :meth:`~repro.staging.base.StagingLibrary.batch_plan`
+    after structural checks that need no bootstrap state; the runtime
+    checks that do (partition identity, redistribution shares, strict
+    claim ordering) run inside ``batch_step`` and degrade to a
+    :class:`BatchDecline`, never to a wrong answer.
+    """
+
+    library: str
+    note: str = ""
+
+
+@dataclass
+class BatchContext:
+    """Everything the driver knows that a ``batch_step`` compiler needs."""
+
+    sim_count: int
+    ana_count: int
+    steps: int
+    #: tick at which bootstrap completed (compilation time = now)
+    boot_tick: int
+    #: per-step compute pauses, quantized exactly as ``env.pause`` would
+    sim_compute_ticks: int
+    ana_compute_ticks: int
+    write_regions: list
+    read_regions: list
+    sim_trackers: list
+    ana_trackers: list
+    #: per sim rep: the resident buffer allocation, or None (transient)
+    persistent_buffers: list
+    #: exact argument the driver's per-step ``allocate`` calls would pass
+    sim_buffer_bytes: float
+    ana_buffer_bytes: float
+
+
+@dataclass
+class BatchSchedule:
+    """A compiled run: sorted actions plus the component finish ticks."""
+
+    actions: List[Tuple[int, Callable[[], None]]]
+    sim_finish_tick: int
+    ana_finish_tick: int
+
+
+class ActionBuilder:
+    """Collects ``(tick, fn)`` actions and emits them schedule-ready.
+
+    Emission order is the tie-breaker for same-tick actions, so
+    compilers emit each step's phases in the per-rank run's same-tick
+    cascade order (chain effects before buffer frees, frees before the
+    next step's allocations); across *different* phases same-tick
+    collisions only ever touch disjoint state (the strict inter-phase
+    tick ordering below is part of every certificate).
+    """
+
+    def __init__(self) -> None:
+        self._actions: List[Tuple[int, int, Callable[[], None]]] = []
+
+    def add(self, tick: int, fn: Callable[[], None]) -> None:
+        self._actions.append((tick, len(self._actions), fn))
+
+    def build(self) -> List[Tuple[int, Callable[[], None]]]:
+        self._actions.sort(key=lambda action: (action[0], action[1]))
+        return [(tick, fn) for tick, _seq, fn in self._actions]
+
+
+class ShadowChains:
+    """Phase-one stand-in for the frozen pipes' arithmetic FIFO chains.
+
+    Mirrors :meth:`~repro.hpc.network.BandwidthPipe.claim_frozen` tick
+    for tick without touching the pipes, records every claim in call
+    order, and enforces the FIFO-equivalence precondition: arrivals at
+    any one pipe must be *strictly* increasing, because only then is the
+    compiler's claim order provably the per-rank run's chronological
+    claim order.  ``apply`` replays the validated claims onto the real
+    pipes (stats additions in the same per-pipe order as the per-rank
+    run) once nothing can fail any more.
+    """
+
+    def __init__(self) -> None:
+        self._ends = {}
+        self._last_arrival = {}
+        #: (pipe, nbytes, arrival, predicted end) in claim order
+        self._claims: list = []
+
+    def claim(self, pipe, nbytes: float, arrival: int) -> int:
+        key = id(pipe)
+        last = self._last_arrival.get(key)
+        if last is not None and arrival <= last:
+            raise BatchDecline(
+                f"pipe {pipe.name!r}: arrival tick {arrival} does not "
+                f"strictly follow {last}; claim order would be ambiguous"
+            )
+        self._last_arrival[key] = arrival
+        start = self._ends.get(key)
+        if start is None:
+            start = pipe._chain_end_tick
+        if start < arrival:
+            start = arrival
+        duration = nbytes / pipe.rate
+        end = start + round(duration * _TICK_SCALE)
+        self._ends[key] = end
+        self._claims.append((pipe, nbytes, arrival, end))
+        return end
+
+    def apply(self) -> None:
+        for pipe, nbytes, arrival, end in self._claims:
+            got = pipe.claim_frozen(nbytes, arrival)
+            if got != end:
+                raise RuntimeError(
+                    f"batch replay drifted on pipe {pipe.name!r}: "
+                    f"claimed {got}, compiled {end}"
+                )
+
+
+class SerialCpu:
+    """Shadow of a capacity-1 Resource serving strictly ordered arrivals.
+
+    Under the strict sequencing the certificates enforce, a grant is
+    ``max(arrival, previous release)`` — the full request/queue protocol
+    collapses to one integer per CPU.
+    """
+
+    __slots__ = ("free_tick", "_last_arrival")
+
+    def __init__(self) -> None:
+        self.free_tick = 0
+        self._last_arrival: Optional[int] = None
+
+    def run(self, arrival: int, busy_ticks: int, name: str = "cpu") -> int:
+        if self._last_arrival is not None and arrival <= self._last_arrival:
+            raise BatchDecline(
+                f"{name}: arrival tick {arrival} does not strictly follow "
+                f"{self._last_arrival}; grant order would be ambiguous"
+            )
+        self._last_arrival = arrival
+        grant = self.free_tick if self.free_tick > arrival else arrival
+        end = grant + busy_ticks
+        self.free_tick = end
+        return end
+
+
+def link_path(cluster, src_node, dst_node, overhead_factor: float):
+    """The pipes and latency ticks one transfer crosses, compile-time.
+
+    Mirrors :meth:`~repro.hpc.network.Link.send`: intra-node transfers
+    cross one pipe with no latency pause; inter-node transfers pay the
+    latency pause then claim the source and destination NIC pipes in
+    order.  Looking the link up is side-effect free (links are cached,
+    nodes already booted by tracker construction).
+    """
+    link = cluster.link(src_node, dst_node, overhead_factor=overhead_factor)
+    if link.src is link.dst:
+        return (link.src,), 0
+    return (link.src, link.dst), round(link.latency * _TICK_SCALE)

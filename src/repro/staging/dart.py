@@ -110,12 +110,24 @@ class DartInstance:
 
     # ----------------------------------------------------- bulk movement
 
-    def bulk_put(self, client: Endpoint, server_id: int, nbytes: float) -> Generator:
-        """Process: one-sided put of ``nbytes`` into a server."""
+    def bulk_put(
+        self,
+        client: Endpoint,
+        server_id: int,
+        nbytes: float,
+        tail_ticks: int = 0,
+    ) -> Generator:
+        """Process: one-sided put of ``nbytes`` into a server.
+
+        ``tail_ticks`` folds a fixed follow-up latency (the caller's
+        metadata-update RPC) into the transfer's completion event — see
+        :meth:`repro.transport.base.Transport.move`.
+        """
         entry = self.server(server_id)
         yield from self.transport.move(
             client, entry.endpoint, nbytes,
             src_registered=True, dst_registered=True,
+            tail_ticks=tail_ticks,
         )
         self.bulk_ops += 1
         self.bulk_bytes += nbytes

@@ -223,7 +223,7 @@ class Dimes(StagingLibrary):
             yield self.env.event()  # no detection: block forever
         if policy.timeout > 0:
             self.recovery_events += 1
-            yield self.env.timeout(policy.timeout)
+            yield self.env.pause(policy.timeout)
         raise StagingServerCrashed(
             f"dimes: metadata server {server_id} is unreachable; client "
             f"RPC timed out after {policy.timeout:g} s"
@@ -246,6 +246,23 @@ class Dimes(StagingLibrary):
                 env._now_tick + round(busy * cal._TICK_SCALE)
             )
 
+    # ----------------------------------------------------- batch actors
+
+    def batch_plan(self, plan, write_regions, read_regions):
+        """DIMES never batch-compiles.
+
+        Staged data lives in producer memory and every get pulls
+        peer-to-peer from each owning producer after a metadata lookup
+        through a shared multi-slot CPU (:attr:`_meta_cpu`); grant order
+        under that contention is load-dependent, so no static tick
+        recurrence reproduces the per-rank chains.
+        """
+        self.batch_decline = (
+            "batch: dimes resolves owners through a shared metadata CPU "
+            "and pulls peer-to-peer; chain order is contention-dependent"
+        )
+        return None
+
     def put(
         self,
         sim_actor: int,
@@ -259,7 +276,7 @@ class Dimes(StagingLibrary):
 
         serialize = self._serialize_cost(total)
         if serialize > 0:
-            yield self.env.timeout(serialize)
+            yield self.env.pause(serialize)
 
         yield from self.gate.writer_acquire(version)
 
@@ -317,7 +334,7 @@ class Dimes(StagingLibrary):
                 if policy is not None and policy.timeout > 0:
                     # The configured detection timeout before giving up.
                     self.recovery_events += 1
-                    yield self.env.timeout(policy.timeout)
+                    yield self.env.pause(policy.timeout)
                 self.versions_lost += max(0, self.steps - version)
                 raise DataLoss(
                     f"dimes: version {version} was staged in the memory of "

@@ -65,7 +65,7 @@ class Flexpath(StagingLibrary):
         # Figure 10 socket penalty: ~15.8% on LAMMPS, ~3.8% on the
         # longer-running Laplace).
         setup_factor = 3.0 if self.transport.name == "tcp" else 1.0
-        yield self.env.timeout(
+        yield self.env.pause(
             (self.topology.nsim + self.topology.nana)
             * cal.PEER_SETUP_SECONDS
             * setup_factor
@@ -149,6 +149,22 @@ class Flexpath(StagingLibrary):
 
     def _writer_tracker(self, actor: int):
         return self.client_tracker("sim", actor)
+
+    # ----------------------------------------------------- batch actors
+
+    def batch_plan(self, plan, write_regions, read_regions):
+        """FlexPath never batch-compiles.
+
+        Publication fans out through the EVPath stone graph: every put
+        submits a notification event that races other publishers for the
+        subscriber stones' queues, so delivery (and therefore reader
+        wake) order is not statically provable.
+        """
+        self.batch_decline = (
+            "batch: flexpath notifications race through shared EVPath "
+            "stone queues; delivery order is not statically provable"
+        )
+        return None
 
     def put(
         self,

@@ -64,7 +64,7 @@ class RwLock:
                 self._writer = True
             else:
                 self._readers += 1
-            yield self.env.timeout(0)
+            yield self.env.pause(0)
             return
         event = Event(self.env)
         self._waiting.append((event, is_writer))

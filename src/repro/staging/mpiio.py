@@ -115,6 +115,22 @@ class MpiIo(StagingLibrary):
                 count * fs.spec.mds_op_time * cal._TICK_SCALE
             ))
 
+    # ----------------------------------------------------- batch actors
+
+    def batch_plan(self, plan, write_regions, read_regions):
+        """MPI-IO never batch-compiles.
+
+        Every put and get queues on the shared Lustre MDS and OST
+        resources alongside all other ranks; grant order under that
+        contention is load-dependent, so no static tick recurrence
+        reproduces the per-rank chains.
+        """
+        self.batch_decline = (
+            "batch: mpiio serializes through shared Lustre MDS/OST "
+            "resources; grant order is contention-dependent"
+        )
+        return None
+
     def put(
         self,
         sim_actor: int,
@@ -131,7 +147,7 @@ class MpiIo(StagingLibrary):
 
         serialize = self._serialize_cost(total)
         if serialize > 0:
-            yield self.env.timeout(serialize)
+            yield self.env.pause(serialize)
 
         # One file create/open per real writer this actor represents.
         yield from self._mds_ops(self.topology.sim_scale)

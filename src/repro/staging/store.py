@@ -189,7 +189,7 @@ class VersionGate:
         if not event.triggered:
             yield event
         else:
-            yield self.env.timeout(0)
+            yield self.env.pause(0)
 
     def reader_done(self, version: int) -> None:
         """One reader finished consuming ``version``."""

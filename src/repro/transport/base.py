@@ -50,7 +50,7 @@ class Transport:
 
     def setup(self, client: Endpoint, server: Endpoint) -> Generator:
         """Process: one-time per-pair connection establishment."""
-        yield self.env.timeout(0)
+        yield self.env.pause(0)
 
     def move(
         self,
@@ -59,6 +59,7 @@ class Transport:
         nbytes: float,
         src_registered: bool = False,
         dst_registered: bool = False,
+        tail_ticks: int = 0,
     ) -> Generator:
         """Process: move ``nbytes`` from ``src`` to ``dst``.
 
@@ -66,6 +67,14 @@ class Transport:
         corresponding buffer is already covered by a persistent
         registration (a staging server's resident buffer), so no
         transient registration is needed on that side.
+
+        ``tail_ticks`` is a fixed latency the caller would otherwise
+        sleep on immediately after the move (e.g. a completion or
+        metadata RPC): transports fold it into their last wake-up event
+        where that provably cannot shift any shared state — pipe
+        release instants, connection-pool returns and registration
+        lifetimes stay exactly where the unfolded two-event form put
+        them; only the caller's resume moves.
         """
         raise NotImplementedError
 

@@ -28,10 +28,11 @@ class MpiMsgTransport(Transport):
         nbytes: float,
         src_registered: bool = False,
         dst_registered: bool = False,
+        tail_ticks: int = 0,
     ) -> Generator:
-        yield self.env.timeout(self.op_latency)
+        yield self.env.pause(self.op_latency)
         link = self.cluster.link(
             src.node, dst.node, overhead_factor=self.overhead_factor
         )
-        yield from link.send(nbytes)
+        yield from link.send(nbytes, tail_ticks)
         self._account(nbytes)

@@ -67,7 +67,7 @@ class RdmaTransport(Transport):
                 backoff, max_retries = self.credential_retry
                 if attempts >= max_retries:
                     raise
-                yield self.env.timeout(backoff * (2 ** attempts))
+                yield self.env.pause(backoff * (2 ** attempts))
                 attempts += 1
                 continue
             break
@@ -85,6 +85,7 @@ class RdmaTransport(Transport):
         nbytes: float,
         src_registered: bool = False,
         dst_registered: bool = False,
+        tail_ticks: int = 0,
     ) -> Generator:
         if self.cluster.drc is not None:
             yield from self._ensure_credential(src)
@@ -93,20 +94,30 @@ class RdmaTransport(Transport):
         # Transient registrations for any side without a resident buffer.
         # uGNI acquires synchronously and fails hard on exhaustion.
         handles = []
+        if tail_ticks and (not src_registered or not dst_registered):
+            # Folding the tail into the transfer would hold transient
+            # registrations through it (the finally below) and shift
+            # RDMA-pool pressure; keep the two-event form instead.
+            fold = 0
+        else:
+            fold = tail_ticks
         try:
             if not src_registered:
                 handles.append(src.node.rdma.register(nbytes))
             if not dst_registered and dst.node is not src.node:
                 handles.append(dst.node.rdma.register(nbytes))
-            yield self.env.timeout(self.op_latency)
+            yield self.env.pause(self.op_latency)
             link = self.cluster.link(
                 src.node, dst.node, overhead_factor=self.overhead_factor
             )
-            yield from link.send(nbytes)
+            yield from link.send(nbytes, fold)
         finally:
             for handle in handles:
                 handle.pool.deregister(handle)
         self._account(nbytes)
+        if tail_ticks and not fold:
+            env = self.env
+            yield env.timeout_at_tick(env._now_tick + tail_ticks)
 
     def teardown(self, client: Endpoint, server: Endpoint) -> None:
         drc = self.cluster.drc

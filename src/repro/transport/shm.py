@@ -29,12 +29,13 @@ class ShmTransport(Transport):
         nbytes: float,
         src_registered: bool = False,
         dst_registered: bool = False,
+        tail_ticks: int = 0,
     ) -> Generator:
         if src.node is not dst.node:
             raise TransportError(
                 f"shared-memory transport cannot cross nodes "
                 f"({src!r} -> {dst!r})"
             )
-        yield self.env.timeout(self.op_latency)
-        yield from src.node.membus.transmit(nbytes)
+        yield self.env.pause(self.op_latency)
+        yield from src.node.membus.transmit(nbytes, tail_ticks)
         self._account(nbytes)

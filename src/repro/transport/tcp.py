@@ -85,7 +85,7 @@ class TcpTransport(Transport):
     def setup(self, client: Endpoint, server: Endpoint) -> Generator:
         """Process: establish the connection (three-way handshake cost)."""
         self._ensure_connection(client, server)
-        yield self.env.timeout(3 * self.op_latency)
+        yield self.env.pause(3 * self.op_latency)
 
     def move(
         self,
@@ -94,6 +94,7 @@ class TcpTransport(Transport):
         nbytes: float,
         src_registered: bool = False,
         dst_registered: bool = False,
+        tail_ticks: int = 0,
     ) -> Generator:
         conn = self._ensure_connection(src, dst)
         latency = self.op_latency
@@ -101,12 +102,17 @@ class TcpTransport(Transport):
             # Sharing a descriptor serializes framing/demux in software
             # — the efficiency compromise Table IV warns about.
             latency += self.mux_latency
-        yield self.env.timeout(latency)
+        yield self.env.pause(latency)
         link = self.cluster.link(
             src.node, dst.node, overhead_factor=self.overhead_factor
         )
         yield from link.send(nbytes)
         self._account(nbytes)
+        if tail_ticks:
+            # After all connection bookkeeping: pooled-descriptor reuse
+            # order must not shift, so the tail stays a separate sleep.
+            env = self.env
+            yield env.timeout_at_tick(env._now_tick + tail_ticks)
 
     def teardown(self, client: Endpoint, server: Endpoint) -> None:
         conn = self._connections.pop(self._key(client, server), None)

@@ -21,9 +21,10 @@ from ..hpc.cluster import Cluster
 from ..hpc.failures import HpcError
 from ..hpc.machines import MachineSpec, get_machine
 from ..sim import Environment, TimeSeries
-from ..sim.engine import EXACT_TICK_LIMIT, _TICK
+from ..sim.engine import EXACT_TICK_LIMIT, _TICK, _TICK_SCALE
 from ..staging import calibration as cal
 from ..staging.base import ClusterPlan, StagingLibrary
+from ..staging.batch import BatchContext, BatchDecline
 from ..staging.decomposition import application_decomposition
 from ..staging.factory import make_library
 from ..staging.ndarray import Variable
@@ -410,6 +411,10 @@ class RunResult:
     #: run silently fell back to a stricter mode (None when the request
     #: engaged as asked, or nothing was requested)
     fidelity_fallback: Optional[str] = None
+    #: why the batch-actor compilation did not engage on a clustered run
+    #: (None when it engaged — fidelity reads "clustered+batch" — or the
+    #: run never reached the batch gate without asking for it)
+    batch_fallback: Optional[str] = None
     #: inputs echoed into the result so consumers never need the live
     #: ``library`` (which is stripped from pickled/worker-shipped results)
     variable_nbytes: int = 0
@@ -469,6 +474,7 @@ def run_coupled(
     fidelity: str = "exact",
     fault_plan=None,
     recovery=None,
+    batch_actors: Optional[bool] = None,
 ) -> RunResult:
     """Run one coupled workflow configuration end to end.
 
@@ -500,6 +506,17 @@ def run_coupled(
     falls back automatically (to clustered or exact) whenever the
     library declines a certificate or no boundary pair matches;
     ``RunResult.fidelity_fallback`` records why.
+
+    ``batch_actors`` steers the vectorized batch-actor engine (see
+    :mod:`repro.staging.batch`): on an engaged clustered run the
+    library may compile the whole step loop into one precomputed action
+    schedule instead of per-rank generator chains — byte-identical
+    results, far fewer events.  ``None`` (default) tries it wherever
+    clustered engaged and falls back silently; ``False`` disables it;
+    ``True`` additionally records in ``RunResult.batch_fallback`` why
+    it could not engage.  When it engages, ``RunResult.fidelity`` reads
+    ``"clustered+batch"`` and it supersedes the steady fast-forward
+    (the whole run is already closed-form).
 
     Results are memoized in :mod:`repro.core.runcache` keyed on every
     input that determines the outcome; traced runs bypass the cache.
@@ -533,6 +550,7 @@ def run_coupled(
             topology_overrides=topology_overrides, config=config,
             app_axis=axis, fidelity=fidelity,
             fault_plan=fault_plan, recovery=recovery,
+            batch_actors=batch_actors,
         )
 
     if _PLAN_RECORDER is not None:
@@ -550,6 +568,7 @@ def run_coupled(
                 topology_overrides=topology_overrides, config=config,
                 app_axis=axis, fidelity=fidelity,
                 fault_plan=fault_plan, recovery=recovery,
+                batch_actors=batch_actors,
             ),
         )
 
@@ -573,9 +592,10 @@ def run_coupled(
         env = Environment()
         cluster = Cluster(env, machine_spec)
         if fault_plan is None:
-            # no injector armed -> no OST can be degraded mid-run, so
-            # the Lustre pipes may run their eventless arithmetic chains
-            cluster.lustre.freeze_rates()
+            # no injector armed -> no pipe can be degraded mid-run, so
+            # every pipe (OSTs, NICs, memory buses) may run its
+            # eventless arithmetic chain
+            cluster.freeze_rates()
         library = None
         try:
             library = _build_library(
@@ -585,7 +605,7 @@ def run_coupled(
             _execute(
                 env, cluster, library, result, var, spec, sim_step, ana_step,
                 steps, axis, nsim, nana, shared_nodes, topology_overrides,
-                trace, run_fidelity, fault_plan, recovery,
+                trace, run_fidelity, fault_plan, recovery, batch_actors,
             )
         except HpcError as exc:
             result.failure = f"{type(exc).__name__}: {exc}"
@@ -679,6 +699,7 @@ def _execute(
     fidelity: str = "exact",
     fault_plan=None,
     recovery=None,
+    batch_actors: Optional[bool] = None,
 ) -> None:
     machine = cluster.spec
 
@@ -745,6 +766,41 @@ def _execute(
     ana_count = plan.ana_reps if plan is not None else ana_actors
     result.fidelity = "clustered" if plan is not None else "exact"
 
+    # Batch actors: compile the whole step loop into one precomputed
+    # action schedule when the engaged clustered plan also certifies
+    # batch-compilable (see repro.staging.batch).  Traced runs need
+    # every hop, chaos/recovery mutate the chains mid-run, and without
+    # a clustered plan there is no proven representative to compile.
+    bplan = None
+    if batch_actors is not False:
+        if trace is not None:
+            if batch_actors:
+                result.batch_fallback = "batch: traced run records every hop"
+        elif fault_plan is not None:
+            if batch_actors:
+                result.batch_fallback = (
+                    "batch: fault injection mutates chains mid-run"
+                )
+        elif recovery is not None:
+            if batch_actors:
+                result.batch_fallback = (
+                    "batch: recovery policy arms mid-run behaviour"
+                )
+        elif library is None:
+            if batch_actors:
+                result.batch_fallback = (
+                    "batch: compute-only baseline has no chains to compile"
+                )
+        elif plan is None:
+            if batch_actors:
+                result.batch_fallback = (
+                    "batch: clustered fidelity did not engage"
+                )
+        else:
+            bplan = library.batch_plan(plan, write_regions, read_regions)
+            if bplan is None:
+                result.batch_fallback = library.batch_decline
+
     sim_trackers = [
         placement.node_of("simulation", i).process_memory(f"simproc{i}")
         for i in range(sim_count)
@@ -765,7 +821,14 @@ def _execute(
     # (e.g. DRC credential retries) the fingerprint cannot vouch for.
     steady = None
     if steady_req:
-        if trace is not None:
+        if bplan is not None:
+            # The compiled schedule already replaces every step with
+            # closed-form arithmetic — there is no step loop left to
+            # fast-forward, and nothing cheaper than zero events/step.
+            result.fidelity_fallback = (
+                "steady: superseded by the batch-actor compilation"
+            )
+        elif trace is not None:
             result.fidelity_fallback = "steady: traced run records every step"
         elif fault_plan is not None:
             result.fidelity_fallback = "steady: fault injection breaks periodicity"
@@ -808,7 +871,7 @@ def _execute(
     boot_done = env.event()
 
     def booter(env):
-        yield env.timeout(APP_INIT_SECONDS)
+        yield env.pause(APP_INIT_SECONDS)
         if library is not None:
             yield from library.bootstrap()
         boot_done.succeed()
@@ -828,6 +891,12 @@ def _execute(
                     library.client_buffer_mult * bytes_per_sim_proc,
                     "staging-lib",
                 )
+        yield from sim_loop(i, tracker, persistent_buffer)
+
+    def sim_loop(i: int, tracker, persistent_buffer):
+        # The step-loop body, shared by the per-rank actors above and
+        # the group actor's runtime-decline fallback below.
+        name = f"sim{i}"
         for step in range(steps):
             if steady is not None and steady.stop(name, step):
                 return  # remaining steps are replayed by translation
@@ -836,7 +905,7 @@ def _execute(
                 mark(name, "fault", env.now)
                 break
             t0 = env.now
-            yield env.timeout(sim_compute)
+            yield env.pause(sim_compute)
             mark(name, "compute", t0)
             compute_end = env._now_tick
             if library is not None:
@@ -865,6 +934,10 @@ def _execute(
         mark(name, "init", t0)
         if library is not None:
             tracker.allocate(cal.CLIENT_LIB_BASE, "staging-lib")
+        yield from ana_loop(j, tracker)
+
+    def ana_loop(j: int, tracker):
+        name = f"ana{j}"
         for step in range(steps):
             if steady is not None and steady.stop(name, step):
                 return  # remaining steps are replayed by translation
@@ -884,7 +957,7 @@ def _execute(
                 get_end = env._now_tick
                 tracker.free(buffer)
             t0 = env.now
-            yield env.timeout(ana_compute)
+            yield env.pause(ana_compute)
             mark(name, "compute", t0)
             if steady is not None:
                 phases = (
@@ -894,9 +967,78 @@ def _execute(
                 steady.record(name, step, phases)
         finish["ana"] = max(finish["ana"], env.now)
 
+    # Batch dispatch: one group actor stands in for every per-rank
+    # generator.  It replays the per-rank boot-time allocations in the
+    # same per-tracker order (each client actor owns its node under the
+    # certified plans, so cross-tracker interleaving is unobservable),
+    # hands the library a compilation context, and either schedules the
+    # compiled actions or — on a runtime decline, before any mutation —
+    # spawns the exact per-rank step loops in place.
+    batch_state = {"engaged": False, "fallback": None}
+
+    def group_actor():
+        for i in range(sim_count):
+            sim_trackers[i].allocate(
+                spec.sim_calc_bytes(bytes_per_sim_proc), "calculation"
+            )
+        for j in range(ana_count):
+            ana_trackers[j].allocate(
+                spec.ana_calc_bytes(bytes_per_ana_proc), "calculation"
+            )
+        yield boot_done
+        persistent = []
+        for i in range(sim_count):
+            tracker = sim_trackers[i]
+            tracker.allocate(cal.CLIENT_LIB_BASE, "staging-lib")
+            buffer = None
+            if library.client_buffer_persistent:
+                buffer = tracker.allocate(
+                    library.client_buffer_mult * bytes_per_sim_proc,
+                    "staging-lib",
+                )
+            persistent.append(buffer)
+        for j in range(ana_count):
+            ana_trackers[j].allocate(cal.CLIENT_LIB_BASE, "staging-lib")
+        ctx = BatchContext(
+            sim_count=sim_count,
+            ana_count=ana_count,
+            steps=steps,
+            boot_tick=env._now_tick,
+            sim_compute_ticks=round(sim_compute * _TICK_SCALE),
+            ana_compute_ticks=round(ana_compute * _TICK_SCALE),
+            write_regions=write_regions,
+            read_regions=read_regions,
+            sim_trackers=sim_trackers,
+            ana_trackers=ana_trackers,
+            persistent_buffers=persistent,
+            sim_buffer_bytes=library.client_buffer_mult * bytes_per_sim_proc,
+            ana_buffer_bytes=library.client_buffer_mult * bytes_per_ana_proc,
+        )
+        try:
+            schedule = library.batch_step(bplan, ctx)
+        except BatchDecline as exc:
+            batch_state["fallback"] = str(exc)
+            loops = [
+                env.process(sim_loop(i, sim_trackers[i], persistent[i]))
+                for i in range(sim_count)
+            ]
+            loops += [
+                env.process(ana_loop(j, ana_trackers[j]))
+                for j in range(ana_count)
+            ]
+            yield env.all_of(loops)
+            return
+        batch_state["engaged"] = True
+        finish["sim"] = schedule.sim_finish_tick * _TICK
+        finish["ana"] = schedule.ana_finish_tick * _TICK
+        yield env.schedule_batch(schedule.actions)
+
     procs = [env.process(booter(env))]
-    procs += [env.process(sim_actor(i)) for i in range(sim_count)]
-    procs += [env.process(ana_actor(j)) for j in range(ana_count)]
+    if bplan is not None:
+        procs.append(env.process(group_actor()))
+    else:
+        procs += [env.process(sim_actor(i)) for i in range(sim_count)]
+        procs += [env.process(ana_actor(j)) for j in range(ana_count)]
 
     def main(env):
         yield env.all_of(procs)
@@ -926,6 +1068,18 @@ def _execute(
             )
     else:
         env.run(until=done)
+
+    if bplan is not None:
+        if batch_state["engaged"]:
+            result.fidelity = "clustered+batch"
+        else:
+            # Runtime decline: the per-rank step loops ran in place.
+            result.batch_fallback = batch_state["fallback"]
+            if result.fidelity_fallback is not None:
+                result.fidelity_fallback = (
+                    "steady: skipped for a batch compilation that then "
+                    "declined at runtime"
+                )
 
     steady_end = None
     if steady is not None:

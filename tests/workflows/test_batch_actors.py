@@ -1,0 +1,185 @@
+"""Vectorized batch actors: equivalence, engagement and fallbacks.
+
+The batch-actor engine (``repro.staging.batch``) may only change *how*
+a clustered run is computed, never *what* it computes:
+
+* **batch == per-rank** — when the compilation engages, every exported
+  number (times, stats, memory timelines, server peaks) must equal the
+  per-rank clustered run float for float;
+* **honest refusal** — every configuration the compilers cannot prove
+  byte-identical must decline with a recorded reason, including at
+  runtime (a mid-compile ``BatchDecline`` falls back to the exact
+  per-rank chains in place);
+* **it is actually cheaper** — an engaged run must simulate far fewer
+  events than the generator chains it replaces.
+"""
+
+import pytest
+
+from repro.core import runcache
+from repro.staging.batch import BatchDecline
+from repro.staging.ndarray import Variable
+from repro.workflows import run_coupled
+
+from .test_perf_modes import MATCHED, assert_identical, fresh_run
+
+#: decaf on Cori splits into gcd(sim, ana, dflow) identical 1:1:1
+#: islands (uniform dragonfly hops); titan's torus hops refuse
+DECAF_ISLANDS = dict(method="decaf", nsim=512, nana=512, steps=5)
+
+
+def batch_pair(**kwargs):
+    """The same configuration with the compilation off and on."""
+    off = fresh_run(batch_actors=False, **kwargs)
+    on = fresh_run(batch_actors=True, **kwargs)
+    return off, on
+
+
+class TestBatchEquivalence:
+    def test_dataspaces_matched_rdma_engages(self):
+        kwargs = {**MATCHED, "transport": "ugni"}
+        off, on = batch_pair(machine="titan", fidelity="clustered", **kwargs)
+        assert off.fidelity == "clustered"
+        assert on.fidelity == "clustered+batch"
+        assert on.batch_fallback is None
+        assert_identical(off, on, ignore=("fidelity",))
+
+    def test_decaf_islands_engage_on_cori(self):
+        off, on = batch_pair(
+            machine="cori", fidelity="clustered", **DECAF_ISLANDS
+        )
+        assert off.fidelity == "clustered"
+        assert on.fidelity == "clustered+batch"
+        assert on.batch_fallback is None
+        assert_identical(off, on, ignore=("fidelity",))
+
+    def test_engaged_by_default_when_clustered(self):
+        # batch_actors=None (the default) tries the compilation too.
+        result = fresh_run(
+            machine="titan", fidelity="clustered",
+            **{**MATCHED, "transport": "ugni"},
+        )
+        assert result.fidelity == "clustered+batch"
+        assert result.batch_fallback is None
+
+    def test_engaged_run_simulates_fewer_events(self):
+        from repro.sim.engine import Environment
+
+        counts = []
+        orig = Environment.step
+
+        def counting(env):
+            counts[-1] += 1
+            orig(env)
+
+        Environment.step = counting
+        try:
+            for batch in (False, True):
+                counts.append(0)
+                fresh_run(
+                    machine="titan", fidelity="clustered",
+                    batch_actors=batch, **{**MATCHED, "transport": "ugni"},
+                )
+        finally:
+            Environment.step = orig
+        per_rank_events, batch_events = counts
+        assert batch_events < per_rank_events / 10
+
+
+class TestBatchRefusals:
+    def test_tcp_sockets_decline(self):
+        # Connection-pooled sockets serialize unrelated chains through
+        # shared per-node pools; the certificate must refuse.
+        off, on = batch_pair(machine="titan", fidelity="clustered", **MATCHED)
+        assert on.fidelity == "clustered"
+        assert on.batch_fallback is not None
+        assert "batch" in on.batch_fallback
+        assert_identical(off, on)
+
+    def test_decaf_wide_islands_decline(self):
+        # nsim=512/nana=256 clusters into 2:1:1 islands — two producers
+        # interleave on the dflow NIC, which the compiler refuses.
+        result = fresh_run(
+            machine="cori", method="decaf", nsim=512, nana=256,
+            fidelity="clustered", batch_actors=True,
+        )
+        assert result.fidelity == "clustered"
+        assert result.batch_fallback is not None
+        assert "1:1:1" in result.batch_fallback
+
+    def test_without_clustering_nothing_compiles(self):
+        result = fresh_run(
+            machine="titan", fidelity="exact", batch_actors=True,
+            **{**MATCHED, "transport": "ugni"},
+        )
+        assert result.fidelity == "exact"
+        assert result.batch_fallback == (
+            "batch: clustered fidelity did not engage"
+        )
+
+    @pytest.mark.parametrize("method", ["dimes", "flexpath", "mpiio"])
+    def test_contended_libraries_always_decline(self, method):
+        # These libraries funnel every rank through shared resources
+        # (metadata CPUs, stone queues, Lustre MDS/OSTs) whose grant
+        # order is contention-dependent — no static compilation exists.
+        from repro.hpc.cluster import Cluster
+        from repro.hpc.machines import get_machine
+        from repro.sim import Environment
+        from repro.staging.base import ClusterPlan
+        from repro.staging.factory import make_library
+
+        env = Environment()
+        cluster = Cluster(env, get_machine("titan"))
+        library = make_library(
+            method, cluster, nsim=8, nana=8,
+            variable=Variable("v", (8192, 64)), steps=5,
+        )
+        plan = ClusterPlan(sim_reps=1, ana_reps=1, server_reps=1, groups=8)
+        assert library.batch_plan(plan, [], []) is None
+        assert library.batch_decline.startswith("batch:")
+        assert method.replace("_", "") in library.batch_decline.replace("-", "")
+
+    def test_runtime_decline_falls_back_in_place(self, monkeypatch):
+        # A certificate that fails its live checks mid-compile must run
+        # the exact per-rank chains and still produce identical output.
+        from repro.staging.dataspaces import DataSpaces
+
+        kwargs = {**MATCHED, "transport": "ugni"}
+        off = fresh_run(
+            machine="titan", fidelity="clustered",
+            batch_actors=False, **kwargs,
+        )
+
+        def declining(self, bplan, ctx):
+            raise BatchDecline("batch: synthetic runtime decline")
+
+        monkeypatch.setattr(DataSpaces, "batch_step", declining)
+        on = fresh_run(
+            machine="titan", fidelity="clustered",
+            batch_actors=True, **kwargs,
+        )
+        assert on.fidelity == "clustered"
+        assert on.batch_fallback == "batch: synthetic runtime decline"
+        assert_identical(off, on)
+
+    def test_batch_supersedes_steady(self):
+        kwargs = {**MATCHED, "transport": "ugni"}
+        result = fresh_run(
+            machine="titan", fidelity="steady+clustered",
+            batch_actors=True, steps=12, **kwargs,
+        )
+        assert result.fidelity == "clustered+batch"
+        assert result.fidelity_fallback == (
+            "steady: superseded by the batch-actor compilation"
+        )
+
+    def test_batch_choice_is_part_of_the_cache_key(self):
+        kwargs = dict(
+            machine="titan", fidelity="clustered",
+            **{**MATCHED, "transport": "ugni"},
+        )
+        runcache.clear()
+        on = run_coupled(batch_actors=True, **kwargs)
+        off = run_coupled(batch_actors=False, **kwargs)
+        assert on.fidelity == "clustered+batch"
+        assert off.fidelity == "clustered"

@@ -24,6 +24,11 @@ optimizations move.  Modes:
   certificates engage, run with the compilation off and on (same
   numbers, so the delta is pure event-machinery cost), recording
   wall-clock, event counts and the speedup per configuration;
+* ``--serve``      — the serving-layer latency benchmark: a cold
+  ``python -m repro study fig6`` subprocess (interpreter start +
+  import + serial simulation) against a resident daemon's first
+  (cache-cold) and warm (cache-hot) submissions of the same figure,
+  plus the warm pool's resident events/sec, under the ``serve`` key;
 * ``--gate PATH``  — the CI perf gate: re-measure the ``--full``
   figures and the chaos campaign, exit non-zero if a figure regresses
   more than 25 % in wall time, coupled events/sec drops more than
@@ -36,7 +41,9 @@ machine-independent throughput number (wall seconds vary with the
 host; events are deterministic).  Schema 3 adds the ``engine``
 microbenchmark section and ``events_per_second`` to the ``chaos``
 entry (now part of the gate).  Schema 4 adds the ``batch_ab`` section
-and gates the figures' events/sec too.
+and gates the figures' events/sec too.  Schema 5 adds the ``serve``
+section — the warm-daemon submission latencies the serving layer
+exists to deliver.
 
 The run cache is cleared before every experiment so timings measure
 simulation, not memoization.  Results merge into the output JSON, so
@@ -351,6 +358,75 @@ def batch_ab_bench() -> Dict[str, object]:
     return results
 
 
+# ---------------------------------------------------- serving latency
+
+def serve_bench(figure: str = "fig6") -> Dict[str, object]:
+    """Cold CLI start vs resident-daemon submissions of one figure.
+
+    Three numbers frame what keeping the service resident buys:
+
+    * ``cold_study_seconds`` — a fresh ``python -m repro study`` run
+      of the figure in a subprocess: interpreter start, imports,
+      serial simulation (what a batch user pays every invocation);
+    * ``first_submission_seconds`` — submit+wait against a freshly
+      started daemon (cache cold): the points still simulate, but the
+      interpreter/import cost is already sunk in the resident pool;
+    * ``warm_submission_seconds`` — the same submission again: every
+      point a cache hit, only planning and replay remain.
+    """
+    import subprocess
+    import tempfile
+    import threading
+
+    from repro.serve.client import ServeClient
+    from repro.serve.daemon import ServeDaemon
+
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env = dict(os.environ, PYTHONPATH=src)
+    start = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro", "study", figure],
+        check=True, capture_output=True, env=env,
+    )
+    cold = time.perf_counter() - start
+
+    tmp = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    sock = os.path.join(tmp, "bench.sock")
+    runcache.clear()
+    daemon = ServeDaemon(socket_path=sock, jobs=os.cpu_count() or 1)
+    thread = threading.Thread(target=daemon.run, daemon=True)
+    thread.start()
+    daemon.ready.wait(60)
+    try:
+        with ServeClient(socket_path=sock).connect(retry_seconds=10) as c:
+            timings = []
+            for _ in range(2):
+                start = time.perf_counter()
+                final = c.wait(c.submit_figure(figure)["job"])
+                timings.append(time.perf_counter() - start)
+                assert final["state"] == "done", final
+            stats = c.stats()
+    finally:
+        daemon.request_shutdown()
+        thread.join(60)
+    first, warm = timings
+    print(f"serve/{figure}: cold study {cold:6.2f} s   first submission "
+          f"{first:6.2f} s   warm submission {warm:6.2f} s   "
+          f"({cold / warm:.1f}x over cold)")
+    return {
+        "figure": figure,
+        "cold_study_seconds": round(cold, 3),
+        "first_submission_seconds": round(first, 3),
+        "warm_submission_seconds": round(warm, 3),
+        "speedup_warm_vs_cold": round(cold / warm, 1) if warm > 0 else 0.0,
+        "pool_events_total": stats["pool"]["events_total"],
+        "pool_events_per_second_resident":
+            stats["pool"]["events_per_second_resident"],
+        "cache": {k: stats["cache"][k]
+                  for k in ("hits", "misses", "stores", "seeds")},
+    }
+
+
 #: CI fails when a gated figure's wall time exceeds baseline by this
 GATE_TOLERANCE = 0.25
 GATED_FIGURES = ("fig2a_full", "fig2b_full")
@@ -442,7 +518,8 @@ def _merge_existing(path: str, report: Dict) -> Dict:
             existing = json.load(fh)
     except (OSError, json.JSONDecodeError):
         return report
-    for key in ("figures", "jobs_sweep", "chaos", "engine", "batch_ab"):
+    for key in ("figures", "jobs_sweep", "chaos", "engine", "batch_ab",
+                "serve"):
         if key in existing and key not in report:
             report[key] = existing[key]
     return report
@@ -465,6 +542,10 @@ def main(argv=None) -> int:
     group.add_argument("--batch-ab", action="store_true",
                        help="A/B the batch-actor compilation (off vs on) "
                             "on configurations its certificates engage")
+    group.add_argument("--serve", action="store_true",
+                       help="serving-layer latency: cold CLI study vs "
+                            "first and warm submissions to a resident "
+                            "daemon")
     group.add_argument("--gate", metavar="BASELINE",
                        help="CI perf gate: rerun the --full figures and "
                             "the chaos campaign; fail on a >25%% "
@@ -475,7 +556,7 @@ def main(argv=None) -> int:
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
 
-    report: Dict[str, object] = {"schema": 4, "cpus": os.cpu_count()}
+    report: Dict[str, object] = {"schema": 5, "cpus": os.cpu_count()}
     if args.jobs_sweep:
         report["mode"] = "jobs-sweep"
         report["jobs_sweep"] = jobs_sweep()
@@ -493,6 +574,11 @@ def main(argv=None) -> int:
         report["mode"] = "batch-ab"
         start = time.perf_counter()
         report["batch_ab"] = batch_ab_bench()
+        total = time.perf_counter() - start
+    elif args.serve:
+        report["mode"] = "serve"
+        start = time.perf_counter()
+        report["serve"] = serve_bench()
         total = time.perf_counter() - start
     else:
         if args.gate:

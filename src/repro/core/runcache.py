@@ -84,6 +84,11 @@ class RunCache:
         self.disk_dir = disk_dir
         self.hits = 0
         self.misses = 0
+        self.stores = 0
+        self.seeds = 0
+        #: hits answered by reading a published disk entry (a subset of
+        #: ``hits``): the cross-process sharing actually paying off
+        self.disk_hits = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.disk_dir, f"{key}.pkl")
@@ -104,12 +109,14 @@ class RunCache:
             if result is not None:
                 self._memory[key] = result
                 self.hits += 1
+                self.disk_hits += 1
                 return result
         self.misses += 1
         return None
 
     def put(self, key: str, result: Any) -> None:
         self._memory[key] = result
+        self.stores += 1
         if self.disk_dir is not None:
             stripped = copy.copy(result)
             stripped.library = None
@@ -132,17 +139,32 @@ class RunCache:
                 pass
 
     def seed(self, key: str, result: Any) -> None:
-        """Insert into the memory layer only (no disk write, no stats).
+        """Insert into the memory layer only (no disk write).
 
         The parallel executor uses this to publish worker-computed
         results to the in-process layer the serial replay reads.
         """
         self._memory[key] = result
+        self.seeds += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Observability counters (the run report and daemon ``stats``)."""
+        return dict(
+            hits=self.hits,
+            misses=self.misses,
+            stores=self.stores,
+            seeds=self.seeds,
+            disk_hits=self.disk_hits,
+            entries=len(self._memory),
+        )
 
     def clear(self) -> None:
         self._memory.clear()
         self.hits = 0
         self.misses = 0
+        self.stores = 0
+        self.seeds = 0
+        self.disk_hits = 0
 
 
 #: the process-wide cache every run_coupled call consults

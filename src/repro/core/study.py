@@ -36,6 +36,7 @@ class Study:
         jobs: int = 1,
         report_path: Optional[str] = None,
         progress_stream: Optional[TextIO] = None,
+        service: Optional[str] = None,
     ) -> None:
         self.full = full
         self.verify_findings = verify_findings
@@ -44,6 +45,10 @@ class Study:
         self.jobs = max(1, int(jobs))
         self.report_path = report_path
         self.progress_stream = progress_stream
+        #: address of a running ``python -m repro serve`` daemon; when
+        #: set, simulation points ride its warm pool and shared cache
+        #: instead of a per-run spawn pool (see :mod:`repro.serve`)
+        self.service = service
         #: the :class:`repro.exec.RunReport` of the last parallel run
         self.run_report = None
         if cache_dir:
@@ -89,7 +94,7 @@ class Study:
             for ident, runner in experiments.items()
             if only is None or ident in only
         }
-        if self.jobs > 1 and selected:
+        if (self.jobs > 1 or self.service) and selected:
             from ..exec import execute_parallel
 
             self.run_report = execute_parallel(
@@ -98,6 +103,7 @@ class Study:
                 cache_dir=self.cache_dir,
                 report_path=self.report_path,
                 progress_stream=self.progress_stream,
+                service=self.service,
             )
         # Serial replay in canonical (paper) order: with jobs > 1 every
         # point is a cache hit, and the merge order — hence every

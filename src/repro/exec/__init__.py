@@ -18,21 +18,31 @@ hide behind data-dependent branches: round 1 captures the
 unconditional sweep, round 2 re-plans against real results and
 captures e.g. the Figure 3 remediation reruns that only happen after a
 real failure.
+
+The execution backend is pluggable.  By default every call builds a
+fresh :class:`WorkerPool` (spawn workers live for one campaign); pass
+``runner=`` anything with a ``run(tasks, progress=None) -> outcomes``
+method to ride a persistent backend instead — the serve daemon's warm
+:class:`repro.serve.pool.WarmPool`, or ``service=`` an address of a
+running ``python -m repro serve`` daemon (sugar for
+:class:`repro.serve.client.ServiceRunner`), so batch campaigns share
+the daemon's resident workers and cross-process cache.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Mapping, Optional, TextIO
+from typing import Any, Callable, Dict, Mapping, Optional, TextIO
 
 from .plan import PlannedTask, WorkPlan, build_plan
-from .pool import TaskOutcome, WorkerPool, effective_jobs
+from .pool import PoolInterrupted, TaskOutcome, WorkerPool, effective_jobs
 from .report import ProgressPrinter, RunReport
 
 __all__ = [
     "PlannedTask",
     "WorkPlan",
     "build_plan",
+    "PoolInterrupted",
     "TaskOutcome",
     "WorkerPool",
     "effective_jobs",
@@ -53,17 +63,32 @@ def execute_parallel(
     progress_stream: Optional[TextIO] = None,
     max_attempts: int = 3,
     max_rounds: int = MAX_ROUNDS,
+    runner: Optional[Any] = None,
+    service: Optional[str] = None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> RunReport:
     """Plan, execute and cache-seed the experiments' simulation points.
 
     Returns the :class:`RunReport`; the caller still runs every
     experiment afterwards (now against a warm cache) to build the
     actual tables.
+
+    ``runner`` swaps the per-call :class:`WorkerPool` for a persistent
+    backend (``run(tasks, progress=None) -> {key: TaskOutcome}``);
+    ``service`` is shorthand for a :class:`repro.serve.client.ServiceRunner`
+    bound to that daemon address.  ``progress`` receives every task
+    event (plus one ``status="round"`` event per planning round)
+    instead of the default stream printer — the daemon uses it to relay
+    events to streaming clients.
     """
     from ..core import runcache
 
+    if service is not None and runner is None:
+        from ..serve.client import ServiceRunner
+
+        runner = ServiceRunner(service)
     start = time.monotonic()
-    workers = effective_jobs(jobs)
+    workers = getattr(runner, "effective", None) or effective_jobs(jobs)
     report = RunReport(jobs=jobs, effective_jobs=workers)
     for round_no in range(1, max_rounds + 1):
         plan = build_plan(experiments)
@@ -71,8 +96,31 @@ def execute_parallel(
         if not tasks:
             if round_no == 1:
                 report.absorb(round_no, plan, {})
+                if progress is not None:
+                    # streaming clients still get the planning summary
+                    # ("0 points to simulate, N already cached")
+                    progress(
+                        dict(
+                            status="round", round=round_no, total=0,
+                            total_refs=plan.total_refs,
+                            deduped_refs=plan.deduped_refs,
+                            cache_hits=plan.cache_hits, workers=workers,
+                        )
+                    )
             break
-        if progress_stream is not None:
+        if progress is not None:
+            progress(
+                dict(
+                    status="round",
+                    round=round_no,
+                    total=len(tasks),
+                    total_refs=plan.total_refs,
+                    deduped_refs=plan.deduped_refs,
+                    cache_hits=plan.cache_hits,
+                    workers=workers,
+                )
+            )
+        elif progress_stream is not None:
             print(
                 f"round {round_no}: {len(tasks)} points to simulate "
                 f"({plan.total_refs} calls, {plan.deduped_refs} deduped, "
@@ -80,18 +128,25 @@ def execute_parallel(
                 file=progress_stream,
                 flush=True,
             )
-        pool = WorkerPool(
-            jobs=jobs,
-            cache_dir=cache_dir,
-            max_attempts=max_attempts,
-            progress=ProgressPrinter(len(tasks), progress_stream),
-        )
-        outcomes = pool.run(tasks)
+        on_event = progress or ProgressPrinter(len(tasks), progress_stream)
+        if runner is not None:
+            outcomes = runner.run(tasks, progress=on_event)
+            batch_sizes = list(getattr(runner, "batch_sizes", []))
+        else:
+            pool = WorkerPool(
+                jobs=jobs,
+                cache_dir=cache_dir,
+                max_attempts=max_attempts,
+                progress=on_event,
+            )
+            outcomes = pool.run(tasks)
+            batch_sizes = pool.batch_sizes
         for key, outcome in outcomes.items():
             if outcome.result is not None:
                 runcache.CACHE.seed(key, outcome.result)
-        report.absorb(round_no, plan, outcomes, batch_sizes=pool.batch_sizes)
+        report.absorb(round_no, plan, outcomes, batch_sizes=batch_sizes)
     report.wall_seconds = time.monotonic() - start
+    report.runcache = runcache.CACHE.stats()
     if report_path:
         report.write(report_path)
     return report

@@ -32,6 +32,8 @@ from __future__ import annotations
 import copy
 import multiprocessing
 import os
+import signal
+import threading
 import time
 import traceback
 from collections import deque
@@ -43,6 +45,22 @@ from .plan import PlannedTask
 
 #: exit code of a deliberately crashed (poison-marker) worker
 _CRASH_EXIT = 13
+
+
+class PoolInterrupted(KeyboardInterrupt):
+    """SIGINT/SIGTERM hit a live pool and the drain completed.
+
+    Raised *after* the graceful sequence — in-flight tasks drained up
+    to the deadline, every worker joined or terminated — so catching it
+    (or letting it propagate as a KeyboardInterrupt) never leaves
+    orphaned spawn processes behind.  ``outcomes`` holds whatever the
+    pool resolved before the signal.
+    """
+
+    def __init__(self, signum: int, outcomes: Dict[str, "TaskOutcome"]):
+        super().__init__(f"worker pool interrupted by signal {signum}")
+        self.signum = signum
+        self.outcomes = outcomes
 
 #: a task whose ``variable_nbytes * steps`` estimate falls below this
 #: ships batched with its queue neighbours (the pool's round-trip
@@ -104,15 +122,20 @@ class TaskOutcome:
 def _execute_spec(spec: Dict[str, Any], attempt: int):
     """Run one task payload inside a worker.
 
-    Test hook: a ``"__crash__"`` marker in the spec kills the worker
+    Test hooks: a ``"__crash__"`` marker in the spec kills the worker
     process outright — ``True`` on every attempt (a poison task),
     an integer N on attempts <= N (crash then recover) — exercising
-    the retry and quarantine paths with real process deaths.
+    the retry and quarantine paths with real process deaths; a
+    ``"__sleep__"`` marker stalls the worker for that many wall
+    seconds first, pinning a task in flight for the drain tests.
     """
     spec = dict(spec)
     crash = spec.pop("__crash__", None)
     if crash is True or (isinstance(crash, int) and attempt <= crash):
         os._exit(_CRASH_EXIT)
+    nap = spec.pop("__sleep__", 0)
+    if nap:
+        time.sleep(nap)
 
     from ..core import runcache
     from ..workflows import run_coupled
@@ -194,12 +217,24 @@ class WorkerPool:
     batch_max: int = BATCH_MAX
     #: size of every batch shipped during the last :meth:`run`
     batch_sizes: List[int] = field(default_factory=list)
+    #: how long a SIGINT/SIGTERM waits for in-flight tasks before
+    #: terminating their workers (see :meth:`run`)
+    drain_seconds: float = 10.0
     _next_worker_id: int = field(default=0, repr=False)
+    _interrupted: Optional[int] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.effective = effective_jobs(self.jobs)
 
     def run(self, tasks: Sequence[PlannedTask]) -> Dict[str, TaskOutcome]:
+        """Execute ``tasks``; returns key -> :class:`TaskOutcome`.
+
+        While the pool is live, SIGINT and SIGTERM are handled
+        gracefully (main thread only): assignment stops, in-flight
+        tasks drain for up to ``drain_seconds``, every worker is then
+        joined or terminated, and :class:`PoolInterrupted` carries the
+        partial outcomes out — Ctrl-C never orphans a spawn process.
+        """
         outcomes = {
             t.key: TaskOutcome(key=t.key, label=t.label(), experiments=list(t.experiments))
             for t in tasks
@@ -207,6 +242,7 @@ class WorkerPool:
         if not tasks:
             return outcomes
         self.batch_sizes = []
+        self._interrupted = None
         ctx = multiprocessing.get_context("spawn")
         pending = deque((t, 1) for t in tasks)  # (task, attempt number)
         delayed: List[tuple] = []  # (ready_at, task, attempt)
@@ -214,8 +250,12 @@ class WorkerPool:
         workers: List[_Worker] = [
             self._spawn(ctx) for _ in range(min(self.effective, len(tasks)))
         ]
+        restore = self._install_signal_handlers()
         try:
             while resolved < len(tasks):
+                if self._interrupted is not None:
+                    self._drain(workers, delayed, outcomes)
+                    raise PoolInterrupted(self._interrupted, outcomes)
                 now = time.monotonic()
                 for entry in [d for d in delayed if d[0] <= now]:
                     delayed.remove(entry)
@@ -227,7 +267,53 @@ class WorkerPool:
                 )
         finally:
             self._shutdown(workers)
+            for signum, handler in restore:
+                signal.signal(signum, handler)
         return outcomes
+
+    # -- graceful shutdown ---------------------------------------------
+
+    def _install_signal_handlers(self) -> List[tuple]:
+        """Route SIGINT/SIGTERM into the drain path; returns what to
+        restore.  Only the main thread may (or need) install handlers —
+        a pool driven from a helper thread relies on its host's own
+        signal story (the serve daemon has one)."""
+        if threading.current_thread() is not threading.main_thread():
+            return []
+        restore = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous = signal.signal(
+                signum, lambda s, frame: self._request_stop(s)
+            )
+            restore.append((signum, previous))
+        return restore
+
+    def _request_stop(self, signum: int) -> None:
+        self._interrupted = signum
+
+    def _drain(self, workers, delayed, outcomes) -> None:
+        """Stop assigning, let in-flight tasks finish, enforce the
+        deadline.  Retries scheduled for later are abandoned (their
+        outcomes stay pending)."""
+        delayed.clear()
+        deadline = time.monotonic() + self.drain_seconds
+        while any(w.busy is not None for w in workers):
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                break
+            busy = [w for w in workers if w.busy is not None and w.proc.is_alive()]
+            if not busy:
+                break
+            ready = connection.wait([w.conn for w in busy], timeout=min(timeout, 0.5))
+            for conn_obj in ready:
+                worker = next(w for w in busy if w.conn is conn_obj)
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    worker.busy = None
+                    continue
+                self._finish(worker, message, delayed, outcomes)
+                delayed.clear()  # a drain never reschedules
 
     # -- internals -----------------------------------------------------
 

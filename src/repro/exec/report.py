@@ -17,7 +17,10 @@ from typing import Any, Dict, List, Optional, TextIO
 #: 1 -> 2: rounds gained ``batch_sizes`` (the dispatch-batching record)
 #: 2 -> 3: records ``requested_jobs``/``effective_jobs`` (the cpu-count
 #:         clamp of :func:`repro.exec.pool.effective_jobs`)
-SCHEMA = 3
+#: 3 -> 4: records ``runcache`` — the in-process cache's hit/miss/
+#:         store/disk-hit counters at campaign end (the serving layer's
+#:         shared-store observability)
+SCHEMA = 4
 
 
 class ProgressPrinter:
@@ -64,6 +67,8 @@ class RunReport:
     rounds: List[Dict[str, Any]] = field(default_factory=list)
     tasks: List[Dict[str, Any]] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: :meth:`repro.core.runcache.RunCache.stats` at campaign end
+    runcache: Optional[Dict[str, int]] = None
 
     def __post_init__(self) -> None:
         if self.effective_jobs is None:
@@ -160,6 +165,7 @@ class RunReport:
             quarantined=len(self.quarantined),
             cache_hits=self.cache_hits,
             deduped_refs=self.deduped_refs,
+            runcache=self.runcache,
             rounds=self.rounds,
             tasks=self.tasks,
         )

@@ -1,0 +1,42 @@
+"""``repro.serve`` — the long-running simulation service.
+
+The batch tools (``repro study --jobs N``, ``repro chaos``) pay
+interpreter + import start-up per campaign and share nothing across
+invocations.  This package turns the simulator into a *service*: a
+long-running asyncio daemon with a warm spawn-worker pool and a
+single-flight shared run cache, serving many concurrent clients.
+
+* :mod:`.protocol` — the newline-delimited JSON wire format (framing,
+  figure-id normalization, the pickle side-channel for rich payloads);
+* :mod:`.pool`     — :class:`WarmPool`, the persistent worker pool
+  (workers pre-import :mod:`repro`, stay resident across submissions,
+  are health-checked and recycled, and reuse the retry + quarantine
+  discipline of :mod:`repro.exec.pool`);
+* :mod:`.cache`    — :class:`SingleFlight`, coalescing concurrent
+  identical computations onto one leader (the daemon applies it at job
+  and at simulation-point granularity) on top of the cross-process
+  disk store of :mod:`repro.core.runcache`;
+* :mod:`.daemon`   — :class:`ServeDaemon`, the asyncio server (unix
+  socket and/or TCP) exposing submit / status / stream / cancel /
+  stats / shutdown;
+* :mod:`.client`   — :class:`ServeClient`, the blocking client the CLI
+  and :class:`repro.core.study.Study(service=...) <repro.core.study.Study>`
+  use, plus :class:`ServiceRunner`, the :func:`repro.exec.execute_parallel`
+  backend that routes a whole campaign through a daemon.
+
+``python -m repro serve`` starts a daemon; ``python -m repro submit``
+talks to one.
+"""
+
+from .cache import SingleFlight
+from .client import ServeClient, ServiceRunner
+from .daemon import ServeDaemon
+from .pool import WarmPool
+
+__all__ = [
+    "ServeClient",
+    "ServeDaemon",
+    "ServiceRunner",
+    "SingleFlight",
+    "WarmPool",
+]

@@ -61,7 +61,7 @@ class TestParallelStudy:
             {"fig8": Study().experiments()["fig8"]}, jobs=2, report_path=path
         )
         payload = json.loads(open(path).read())
-        assert payload["schema"] == 3
+        assert payload["schema"] == 4
         assert payload["jobs"] == 2
         assert payload["requested_jobs"] == 2
         # clamped to os.cpu_count() on small hosts, never above request
@@ -71,6 +71,11 @@ class TestParallelStudy:
         assert all(
             isinstance(r["batch_sizes"], list) for r in payload["rounds"]
         )
+        # schema 4: the run cache's counters ride along
+        cache = payload["runcache"]
+        assert set(cache) >= {"hits", "misses", "stores", "seeds",
+                              "disk_hits", "entries"}
+        assert all(isinstance(v, int) for v in cache.values())
 
 
 class TestCliFlags:

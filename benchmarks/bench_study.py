@@ -43,7 +43,9 @@ microbenchmark section and ``events_per_second`` to the ``chaos``
 entry (now part of the gate).  Schema 4 adds the ``batch_ab`` section
 and gates the figures' events/sec too.  Schema 5 adds the ``serve``
 section — the warm-daemon submission latencies the serving layer
-exists to deliver.
+exists to deliver.  Schema 6 adds the beyond-the-paper ``fig_sst`` /
+``fig_pmem`` figures to the ``--full`` set and the gate, and the
+chaos entry now covers the extended (pmem-tier) campaign.
 
 The run cache is cleared before every experiment so timings measure
 simulation, not memoization.  Results merge into the output JSON, so
@@ -103,6 +105,11 @@ def experiments(mode: str) -> Dict[str, Callable[[], object]]:
         return {
             "fig2a_full": lambda: figures.fig2_end_to_end("lammps", full=True),
             "fig2b_full": lambda: figures.fig2_end_to_end("laplace", full=True),
+            # The beyond-the-paper families ride the same gate: their
+            # sweeps exercise the SST pacing queue and the pmem mirror
+            # path, whose per-event cost the study figures never touch.
+            "fig_sst": figures.fig_sst_streaming,
+            "fig_pmem": figures.fig_pmem_tier,
         }
     study = Study()
     return dict(study.experiments())
@@ -429,7 +436,7 @@ def serve_bench(figure: str = "fig6") -> Dict[str, object]:
 
 #: CI fails when a gated figure's wall time exceeds baseline by this
 GATE_TOLERANCE = 0.25
-GATED_FIGURES = ("fig2a_full", "fig2b_full")
+GATED_FIGURES = ("fig2a_full", "fig2b_full", "fig_sst", "fig_pmem")
 
 #: absolute coupled-throughput floor for fig2a_full (ev/s).  Set to
 #: the value achieved when the vectorized batch-actor engine landed
@@ -556,7 +563,7 @@ def main(argv=None) -> int:
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
 
-    report: Dict[str, object] = {"schema": 5, "cpus": os.cpu_count()}
+    report: Dict[str, object] = {"schema": 6, "cpus": os.cpu_count()}
     if args.jobs_sweep:
         report["mode"] = "jobs-sweep"
         report["jobs_sweep"] = jobs_sweep()

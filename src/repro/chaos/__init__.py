@@ -19,6 +19,7 @@ from .faults import (
 from .campaign import (
     CHAOS_LIBRARIES,
     build_campaign,
+    chaos_matrix_ext,
     run_campaign,
 )
 
@@ -32,5 +33,6 @@ __all__ = [
     "RecoveryPolicy",
     "TAXONOMY",
     "build_campaign",
+    "chaos_matrix_ext",
     "run_campaign",
 ]

@@ -19,6 +19,8 @@ fault kind          hook
 ``transport_degrade``  ``BandwidthPipe.degrade`` on every booted NIC
 ``ost_slow``        ``LustreFilesystem.degrade_ost``
 ``drc_reject``      ``DrcService.reject_until`` (transient rejection)
+``pmem_degrade``    ``PmemDevice.degrade`` (controller stall on both
+                    channels of the persistent-memory tier)
 ==================  ====================================================
 
 How a library *reacts* is governed by its :class:`RecoveryPolicy` —
@@ -33,14 +35,22 @@ from typing import List, Optional, Tuple
 
 from ..sim.engine import _TICK, _TICK_SCALE
 
-#: the injectable fault kinds, in campaign sweep order
+#: the injectable fault kinds, in campaign sweep order.  The first five
+#: are the paper's Table IV classes; ``pmem_degrade`` targets the
+#: beyond-the-paper persistent-memory tier (``repro.hpc.pmem``).
 FAULT_KINDS = (
     "server_crash",
     "rank_death",
     "transport_degrade",
     "ost_slow",
     "drc_reject",
+    "pmem_degrade",
 )
+
+#: the original five kinds, frozen: the seed-keyed ``chaos_matrix`` /
+#: ``chaos_blast`` goldens iterate exactly these, so extending
+#: :data:`FAULT_KINDS` must never perturb their rng draw order.
+MATRIX_FAULTS = FAULT_KINDS[:5]
 
 
 @dataclass(frozen=True)
@@ -53,7 +63,11 @@ class RecoveryPolicy:
     * ``reconnect-backoff`` — retry up to ``max_retries`` times with
       exponential backoff starting at ``backoff`` seconds;
     * ``restart-from-file`` — restart the failed rank from the last
-      complete file on persistent storage (MPI-IO only).
+      complete file on persistent storage (MPI-IO only);
+    * ``restart-from-pmem`` — restart the failed rank from its slab on
+      the persistent-memory tier: the data survived the death, and the
+      asymmetric tier reads it back far faster than Lustre (requires a
+      machine with a ``PmemSpec`` and ``pmem_checkpoint`` staging).
     """
 
     kind: str = "none"
@@ -62,7 +76,7 @@ class RecoveryPolicy:
     max_retries: int = 3
 
     VALID_KINDS = ("none", "timeout-abort", "reconnect-backoff",
-                   "restart-from-file")
+                   "restart-from-file", "restart-from-pmem")
 
     def __post_init__(self) -> None:
         if self.kind not in self.VALID_KINDS:
@@ -188,6 +202,7 @@ TAXONOMY = {
     "StagingServerCrashed": "server_crash",
     "CredentialRejected": "drc_reject",
     "WorkflowHang": "server_crash",
+    "PmemDeviceFailure": "pmem_degrade",
 }
 
 
@@ -282,6 +297,14 @@ class FaultInjector:
             self._at_duration_tick(
                 event.duration, self.cluster.lustre.restore_osts
             )
+
+    def _inject_pmem_degrade(self, event: FaultEvent) -> None:
+        pmem = self.cluster.pmem
+        if pmem is None:
+            return  # machine has no persistent-memory tier: nothing to hit
+        pmem.degrade(event.factor)
+        if event.duration > 0:
+            self._at_duration_tick(event.duration, pmem.restore)
 
     def _inject_drc_reject(self, event: FaultEvent) -> None:
         drc = self.cluster.drc

@@ -53,8 +53,12 @@ from typing import Any, Dict, Optional
 #: (3 -> 4: event times quantized to the 2^-32 s tick grid for the
 #: steady-state fast-forward; pre-grid cached timings are stale.
 #: 4 -> 5: ``batch_actors`` joined the key inputs and results carry
-#: ``batch_fallback``; pre-batch pickles miss the field)
-SCHEMA_VERSION = 5
+#: ``batch_fallback``; pre-batch pickles miss the field.
+#: 5 -> 6: persistent-memory tier + SST streaming knobs
+#: (``pmem_checkpoint``/``sst_discard``) feed the simulated timings
+#: and results carry ``recovery_seconds``; pre-pmem pickles miss the
+#: field)
+SCHEMA_VERSION = 6
 
 
 def _canonical(value: Any) -> Any:

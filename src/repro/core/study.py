@@ -70,6 +70,9 @@ class Study:
             "fig11": figures.fig11_decaf_servers,
             "fig12": figures.fig12_dataspaces_servers,
             "fig13": figures.fig13_shared_memory,
+            # Beyond the paper: the SST streaming and pmem tier families
+            "fig_sst": figures.fig_sst_streaming,
+            "fig_pmem": figures.fig_pmem_tier,
             "table1": table1_build_configs,
             "table2": table2_workflows,
             "table3": table3_usability,

@@ -19,6 +19,7 @@ from .failures import (
     OutOfRdmaMemory,
     NodeFailure,
     OutOfSockets,
+    PmemDeviceFailure,
     SchedulerPolicyViolation,
     TransportError,
 )
@@ -31,9 +32,11 @@ from .machines import (
     LustreSpec,
     MachineSpec,
     NodeSpec,
+    PmemSpec,
     get_machine,
 )
 from .memtrack import Allocation, MemoryTracker
+from .pmem import PmemDevice
 from .network import BandwidthPipe, Link
 from .node import Node
 from .rdma import RdmaHandle, RdmaPool
@@ -75,6 +78,9 @@ __all__ = [
     "OutOfSockets",
     "PB",
     "Placement",
+    "PmemDevice",
+    "PmemDeviceFailure",
+    "PmemSpec",
     "RankLocation",
     "RdmaHandle",
     "RdmaPool",

@@ -23,6 +23,7 @@ from .lustre import LustreFilesystem
 from .machines import MachineSpec
 from .network import Link
 from .node import Node
+from .pmem import PmemDevice
 from .topology import make_topology
 
 
@@ -37,6 +38,7 @@ class Cluster:
         self._rates_frozen = False
         self.topology = make_topology(spec.interconnect.topology, spec.num_nodes)
         self.lustre = LustreFilesystem(env, spec.lustre)
+        self._pmem: Optional[PmemDevice] = None
         self.drc: Optional[DrcService] = (
             DrcService(env, max_pending=spec.drc_max_pending)
             if spec.interconnect.requires_drc
@@ -55,9 +57,26 @@ class Cluster:
         """
         self._rates_frozen = True
         self.lustre.freeze_rates()
+        if self._pmem is not None:
+            self._pmem.freeze_rates()
         for node in self._nodes.values():
             node.nic.freeze_rate()
             node.membus.freeze_rate()
+
+    @property
+    def pmem(self) -> Optional[PmemDevice]:
+        """The machine's persistent-memory tier, created on first use.
+
+        ``None`` when the catalog machine has no
+        :class:`~repro.hpc.machines.PmemSpec`.  Lazy like the nodes:
+        runs that never touch the tier never pay for it (and never
+        perturb existing simulated timings or stats).
+        """
+        if self._pmem is None and self.spec.pmem is not None:
+            self._pmem = PmemDevice(self.env, self.spec.pmem)
+            if self._rates_frozen:
+                self._pmem.freeze_rates()
+        return self._pmem
 
     def node(self, node_id: int) -> Node:
         """The node with ``node_id``, created on first use."""

@@ -108,6 +108,16 @@ class CredentialRejected(HpcError):
     """
 
 
+class PmemDeviceFailure(HpcError):
+    """The persistent-memory tier failed or rejected a request.
+
+    Beyond the paper: an Optane-like NVDIMM pool (Subedi et al.) can
+    stall when its controller saturates or fill up entirely — unlike
+    DRAM staging the *contents* survive rank death, but the device
+    itself is still a shared, capacity-limited resource.
+    """
+
+
 class WorkflowHang(HpcError):
     """The coupled workflow stopped making progress (watchdog fired).
 

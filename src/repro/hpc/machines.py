@@ -72,6 +72,29 @@ class LustreSpec:
 
 
 @dataclass(frozen=True)
+class PmemSpec:
+    """Static description of a persistent-memory (Optane-like) tier.
+
+    Modeled after the NVDIMM staging tiers of Subedi et al.: capacity
+    sits between node DRAM and Lustre, bandwidth is asymmetric (reads
+    run ~3x faster than writes, per Optane DC measurements), and the
+    contents *persist* across rank and server death — which is what
+    makes the ``restart-from-pmem`` recovery policy possible.
+    """
+
+    #: aggregate tier capacity, bytes (between DRAM and Lustre)
+    capacity_bytes: int
+    #: aggregate peak read bandwidth, bytes/second
+    read_bandwidth: float
+    #: aggregate peak write bandwidth, bytes/second (the slow direction)
+    write_bandwidth: float
+    #: seconds per metadata operation (open/validate a checkpoint slab);
+    #: byte-addressable memory needs no MDS round-trip, so this is
+    #: orders of magnitude below ``LustreSpec.mds_op_time``
+    op_time: float = 2.0e-5
+
+
+@dataclass(frozen=True)
 class MachineSpec:
     """A complete machine: nodes + interconnect + filesystem + policies."""
 
@@ -88,6 +111,10 @@ class MachineSpec:
     relative_core_speed: float = 1.0
     #: maximum outstanding requests the DRC service tolerates
     drc_max_pending: int = field(default=8192)
+    #: optional persistent-memory tier (None = machine has no PMEM).
+    #: Keyed by machine *name* in the run cache, so adding a tier to a
+    #: catalog machine does not perturb existing cache keys.
+    pmem: Optional[PmemSpec] = None
 
     def compute_time(self, titan_seconds: float) -> float:
         """Scale a Titan-calibrated compute time to this machine."""
@@ -121,6 +148,14 @@ TITAN = MachineSpec(
     allows_node_sharing=False,
     supports_heterogeneous_launch=True,
     relative_core_speed=1.0,
+    # Hypothetical NVDIMM tier for the beyond-the-paper sweeps: aggregate
+    # capacity between the machine's ~598 TB of DRAM and its 32 PB
+    # Lustre; read bandwidth 3x the filesystem peak, writes at parity.
+    pmem=PmemSpec(
+        capacity_bytes=int(1.5 * PB),
+        read_bandwidth=3 * TB,
+        write_bandwidth=1 * TB,
+    ),
 )
 
 CORI = MachineSpec(
@@ -151,6 +186,13 @@ CORI = MachineSpec(
     allows_node_sharing=True,
     supports_heterogeneous_launch=False,
     relative_core_speed=1.4 / 2.2,  # 63.6 % of Titan, as stated in the paper
+    # Smaller tier than Titan's (fewer nodes), same 3:1 read:write
+    # asymmetry; reads outrun the 744 GB/s Lustre peak by ~2.7x.
+    pmem=PmemSpec(
+        capacity_bytes=int(1.2 * PB),
+        read_bandwidth=2 * TB,
+        write_bandwidth=700 * GB,
+    ),
 )
 
 MACHINES = {"titan": TITAN, "cori": CORI}

@@ -32,7 +32,11 @@ job, ``coalesced`` counted in ``stats``) and again at point
 granularity inside the pool.  Completed results are *not* reused at
 the job level — re-submitting a finished figure makes a new job whose
 points all hit the shared run cache, which is the cheaper and more
-observable path.
+observable path.  Finished jobs linger for late ``status``/``stream``
+readers and are then evicted at submission time — oldest-finished
+first past ``job_cap`` total jobs, unconditionally once
+``job_ttl_seconds`` past their finish — so a resident daemon's job
+registry stays bounded (``evicted`` in ``stats``).
 
 SIGINT/SIGTERM (or the ``shutdown`` op) trigger the graceful sequence:
 stop accepting, cancel queued jobs, drain in-flight pool tasks up to
@@ -144,6 +148,8 @@ class ServeDaemon:
         cache_dir: Optional[str] = None,
         drain_seconds: float = 10.0,
         recycle_after: Optional[int] = None,
+        job_cap: int = 256,
+        job_ttl_seconds: float = 3600.0,
     ) -> None:
         if socket_path is None and (host is None or port is None):
             raise ValueError("need a unix socket path and/or host+port")
@@ -158,6 +164,12 @@ class ServeDaemon:
         if cache_dir:
             runcache.enable_disk(cache_dir)
         self.jobs: Dict[str, Job] = {}
+        #: retention for finished jobs (done/failed/cancelled): kept for
+        #: late status/stream readers, then evicted oldest-finished
+        #: first past ``job_cap`` total jobs, and unconditionally once
+        #: ``job_ttl_seconds`` past their finish time
+        self.job_cap = job_cap
+        self.job_ttl_seconds = job_ttl_seconds
         self._job_seq = itertools.count(1)
         self._uncached_seq = itertools.count(1)
         #: figure/chaos plan+replay mutate process globals -> one thread
@@ -173,6 +185,7 @@ class ServeDaemon:
         self.jobs_failed = 0
         self.jobs_cancelled = 0
         self.jobs_coalesced = 0
+        self.jobs_evicted = 0
         #: set once the listeners are up (thread-start synchronization)
         self.ready = threading.Event()
 
@@ -341,9 +354,40 @@ class ServeDaemon:
 
     # -- submission ----------------------------------------------------
 
+    def _evict_finished(self) -> None:
+        """Drop finished jobs past the TTL or the retention cap.
+
+        Runs on the loop thread at submission time, so the registry is
+        bounded by how fast work arrives.  Only terminal jobs
+        (done/failed/cancelled) are candidates — the single-flight scan
+        in :meth:`_submit` only matches queued/running jobs, so an
+        eviction can never break coalescing — and the oldest-finished
+        go first (LRU on finish time).  A later ``status``/``stream``
+        for an evicted ident gets the same "unknown job" a restart
+        would produce.
+        """
+        now = time.monotonic()
+        finished = sorted(
+            (
+                job for job in self.jobs.values()
+                if job.state in ("done", "failed", "cancelled")
+            ),
+            key=lambda job: job.finished or 0.0,
+        )
+        for job in finished:
+            expired = (
+                job.finished is not None
+                and now - job.finished > self.job_ttl_seconds
+            )
+            if not expired and len(self.jobs) <= self.job_cap:
+                break  # oldest survivor: everything newer survives too
+            del self.jobs[job.ident]
+            self.jobs_evicted += 1
+
     def _submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
         if self._stopping:
             return protocol.error("daemon is stopping")
+        self._evict_finished()
         kind = request.get("kind")
         try:
             if kind == "figure":
@@ -493,12 +537,17 @@ class ServeDaemon:
                     )
                 selected = {ident: experiments[ident]}
             else:  # chaos
-                from ..chaos.campaign import chaos_blast, chaos_matrix
+                from ..chaos.campaign import (
+                    chaos_blast,
+                    chaos_matrix,
+                    chaos_matrix_ext,
+                )
 
                 seed = job.params["seed"]
                 selected = {
                     "chaos_matrix": lambda: chaos_matrix(seed),
                     "chaos_blast": lambda: chaos_blast(seed),
+                    "chaos_matrix_ext": lambda: chaos_matrix_ext(seed),
                 }
             report = execute_parallel(
                 selected,
@@ -541,6 +590,7 @@ class ServeDaemon:
                 failed=self.jobs_failed,
                 cancelled=self.jobs_cancelled,
                 coalesced=self.jobs_coalesced,
+                evicted=self.jobs_evicted,
                 states=states,
             ),
             pool=pool,

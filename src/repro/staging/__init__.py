@@ -27,6 +27,7 @@ from .locks import LockError, LockService, RwLock
 from .mpiio import MpiIo
 from .ndarray import Region, Variable, longest_dimension
 from .sfc import SfcIndex, hilbert_coords, hilbert_index, index_memory_bytes
+from .sst import Sst
 from .store import Fragment, FragmentStore, VersionGate
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "Region",
     "ServerState",
     "SfcIndex",
+    "Sst",
     "StagingConfig",
     "StagingLibrary",
     "StagingStats",

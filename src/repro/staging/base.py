@@ -193,6 +193,15 @@ class StagingConfig:
     #: staging-server failure at the cost of doubled server memory and
     #: an extra transfer per put)
     replication_factor: int = 1
+    #: SST step-discard mode (latest-step-wins): writers never block on
+    #: a slow reader — stale unconsumed steps are dropped instead.
+    #: False = SST's default reader-pacing (writers queue/block when
+    #: the reader falls ``queue_size`` steps behind).
+    sst_discard: bool = False
+    #: mirror every put's slab to the machine's persistent-memory tier
+    #: (enables the restart-from-pmem recovery policy; costs one write
+    #: through the tier's slow channel per put)
+    pmem_checkpoint: bool = False
 
 
 @dataclass
@@ -283,6 +292,9 @@ class StagingLibrary:
         self.versions_lost: int = 0
         #: recovery actions taken (restarts, reconnects, drains)
         self.recovery_events: int = 0
+        #: simulated seconds spent inside recovery actions — the direct
+        #: latency measurement the rounded overhead columns cannot show
+        self.recovery_seconds: float = 0.0
         #: chaos callbacks fired with the running put count
         self._put_watchers: List = []
         #: why :meth:`batch_plan` last declined (None until it runs)

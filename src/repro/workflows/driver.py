@@ -430,6 +430,8 @@ class RunResult:
     #: recovery actions (restarts, reconnects, drains) taken
     versions_lost: int = 0
     recovery_events: int = 0
+    #: simulated seconds spent inside recovery actions
+    recovery_seconds: float = 0.0
     library: Optional[StagingLibrary] = None
 
     @property
@@ -616,6 +618,7 @@ def run_coupled(
                 if library is not None:
                     result.versions_lost = library.versions_lost
                     result.recovery_events = library.recovery_events
+                    result.recovery_seconds = library.recovery_seconds
         return result
 
     # The event loop allocates millions of short-lived objects whose
@@ -1123,5 +1126,6 @@ def _execute(
             result.server_memory_breakdown = library.servers[0].memory.breakdown()
         result.versions_lost = library.versions_lost
         result.recovery_events = library.recovery_events
+        result.recovery_seconds = library.recovery_seconds
         result.library = library
         library.shutdown()

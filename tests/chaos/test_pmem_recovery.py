@@ -1,0 +1,155 @@
+"""The restart-from-pmem recovery policy and the extended chaos matrix.
+
+The persistent-memory tier's chaos story: checkpoint-mirroring
+libraries restart a dead rank from its slab (zero version loss, no MDS
+round-trip), the tier itself can be degraded as a sixth fault kind, and
+the extended matrix pins all of it against the plain-tier controls.
+"""
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultPlan, RecoveryPolicy, chaos_matrix_ext
+from repro.chaos.faults import FAULT_KINDS, TAXONOMY
+from repro.core import runcache
+from repro.staging import StagingConfig
+from repro.workflows import run_coupled
+
+CELL = dict(
+    workflow="lammps", nsim=8, nana=4, steps=5,
+    topology_overrides=dict(sim_ranks_per_node=1, ana_ranks_per_node=1),
+)
+
+RANK_DEATH = FaultEvent("rank_death", after_puts=14, target=3, actor_kind="sim")
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    runcache.clear()
+    yield
+    runcache.clear()
+
+
+def _plan(event, watchdog=300.0):
+    return FaultPlan(events=(event,), watchdog=watchdog)
+
+
+def _config(library, pmem=False):
+    return StagingConfig(
+        transport="mpi" if library == "mpiio" else "ugni",
+        use_adios=True, pmem_checkpoint=pmem,
+    )
+
+
+class TestTaxonomy:
+    def test_pmem_degrade_is_a_fault_kind(self):
+        assert "pmem_degrade" in FAULT_KINDS
+
+    def test_pmem_device_failure_maps_to_its_fault_class(self):
+        assert TAXONOMY["PmemDeviceFailure"] == "pmem_degrade"
+
+    def test_restart_from_pmem_is_a_valid_policy(self):
+        assert RecoveryPolicy("restart-from-pmem").kind == "restart-from-pmem"
+        with pytest.raises(ValueError):
+            RecoveryPolicy("restart-from-nowhere")
+
+
+class TestRestartFromPmem:
+    def test_mpiio_zero_loss_and_faster_than_file(self):
+        """The headline cell: same zero-loss outcome as restart-from-
+        file, but the recovery itself skips the Lustre MDS round-trip."""
+        from_file = run_coupled(
+            machine="titan", method="mpiio",
+            config=_config("mpiio"),
+            fault_plan=_plan(RANK_DEATH), **CELL,
+        )
+        from_pmem = run_coupled(
+            machine="titan", method="mpiio",
+            config=_config("mpiio", pmem=True),
+            fault_plan=_plan(RANK_DEATH),
+            recovery=RecoveryPolicy("restart-from-pmem"), **CELL,
+        )
+        for result in (from_file, from_pmem):
+            assert result.ok
+            assert result.versions_lost == 0
+            assert result.recovery_events >= 1
+        assert from_pmem.recovery_seconds > 0.0
+        assert from_pmem.recovery_seconds < from_file.recovery_seconds
+
+    def test_sst_mirroring_turns_drain_into_zero_loss(self):
+        """Plain SST drains around a dead writer (holes in the stream);
+        the mirrored tier restores the queue instead."""
+        drained = run_coupled(
+            machine="titan", method="sst",
+            config=_config("sst"),
+            fault_plan=_plan(RANK_DEATH), **CELL,
+        )
+        assert drained.ok
+        assert drained.versions_lost > 0
+        restored = run_coupled(
+            machine="titan", method="sst",
+            config=_config("sst", pmem=True),
+            fault_plan=_plan(RANK_DEATH),
+            recovery=RecoveryPolicy("restart-from-pmem"), **CELL,
+        )
+        assert restored.ok
+        assert restored.versions_lost == 0
+        assert restored.recovery_events >= 1
+        assert restored.recovery_seconds > 0.0
+
+
+class TestPmemDegrade:
+    EVENT = FaultEvent("pmem_degrade", at=20.0, factor=32.0, duration=40.0)
+
+    def test_controller_stall_hits_only_tier_tenants(self):
+        clean = run_coupled(
+            machine="titan", method="mpiio",
+            config=_config("mpiio", pmem=True), **CELL,
+        )
+        assert clean.ok
+        stalled = run_coupled(
+            machine="titan", method="mpiio",
+            config=_config("mpiio", pmem=True),
+            fault_plan=_plan(self.EVENT), **CELL,
+        )
+        assert stalled.ok
+        assert stalled.end_to_end > clean.end_to_end
+
+    def test_plain_tier_runs_never_notice(self):
+        clean = run_coupled(
+            machine="titan", method="mpiio",
+            config=_config("mpiio"), **CELL,
+        )
+        stalled = run_coupled(
+            machine="titan", method="mpiio",
+            config=_config("mpiio"),
+            fault_plan=_plan(self.EVENT), **CELL,
+        )
+        assert stalled.ok
+        assert stalled.end_to_end == pytest.approx(clean.end_to_end)
+
+
+class TestExtendedMatrix:
+    def test_matrix_pins_the_pmem_advantage(self):
+        """chaos_matrix_ext reproduces deterministically and shows
+        restart-from-pmem beating restart-from-file in ≥1 cell."""
+        table = chaos_matrix_ext(seed=7)
+        runcache.clear()
+        again = chaos_matrix_ext(seed=7)
+        assert table.rows == again.rows
+
+        cells = {(r["fault"], r["library"], r["tier"]): r for r in table.rows}
+        assert len(cells) == len(table.rows)
+
+        pmem = cells[("rank_death", "mpiio", "pmem")]
+        file_ = cells[("rank_death", "mpiio", "plain")]
+        assert pmem["recovery"] == "restart-from-pmem"
+        assert file_["recovery"] == "restart-from-file"
+        assert pmem["outcome"] == file_["outcome"] == "completed"
+        assert pmem["versions_lost"] == file_["versions_lost"] == 0
+        assert 0.0 < pmem["recovery_seconds"] < file_["recovery_seconds"]
+
+        drained = cells[("rank_death", "sst", "plain")]
+        restored = cells[("rank_death", "sst", "pmem")]
+        assert drained["versions_lost"] > 0
+        assert restored["versions_lost"] == 0
+        assert restored["outcome"] == "completed"

@@ -33,6 +33,7 @@ class TestStudy:
         study = Study()
         idents = set(study.experiments())
         expected = {f"fig{i}" for i in range(3, 14)} | {"fig2a", "fig2b"}
+        expected |= {"fig_sst", "fig_pmem"}  # beyond-the-paper families
         expected |= {f"table{i}" for i in range(1, 6)}
         expected |= {"portability", "conclusions"}
         assert idents == expected

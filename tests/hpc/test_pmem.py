@@ -1,0 +1,135 @@
+"""Unit tests for the persistent-memory staging tier (repro.hpc.pmem)."""
+
+import dataclasses
+
+import pytest
+
+from repro.hpc import (
+    Cluster,
+    MACHINES,
+    PmemDevice,
+    PmemDeviceFailure,
+    PmemSpec,
+    TITAN,
+)
+from repro.sim import Environment
+
+GB = 1024 ** 3
+
+SPEC = PmemSpec(
+    capacity_bytes=10 * GB,
+    read_bandwidth=3 * GB,
+    write_bandwidth=1 * GB,
+    op_time=2.0e-5,
+)
+
+
+def timed(dev, gen):
+    """Drive one device generator to completion; (elapsed, return)."""
+    env = dev.env
+    out = {}
+
+    def proc():
+        t0 = env.now
+        out["value"] = yield from gen
+        out["elapsed"] = env.now - t0
+
+    env.process(proc())
+    env.run()
+    return out["elapsed"], out.get("value")
+
+
+def device(spec=SPEC):
+    return PmemDevice(Environment(), spec)
+
+
+class TestDataPath:
+    def test_asymmetric_read_write_bandwidth(self):
+        """The Optane property: reads run 3x faster than writes."""
+        dev = device()
+        wrote, _ = timed(dev, dev.write(("sim", 0), 0, 3 * GB))
+        assert wrote == pytest.approx(SPEC.op_time + 3.0)
+        read, (version, nbytes) = timed(dev, dev.read(("sim", 0)))
+        assert (version, nbytes) == (0, 3 * GB)
+        assert read == pytest.approx(SPEC.op_time + 1.0)
+        assert dev.bytes_written == dev.bytes_read == 3 * GB
+
+    def test_read_of_absent_owner_is_free(self):
+        dev = device()
+        elapsed, slab = timed(dev, dev.read(("sim", 99)))
+        assert slab == (None, 0)
+        assert elapsed == 0.0
+        assert dev.bytes_read == 0
+
+    def test_checkpoint_rotation_keeps_one_slab_per_owner(self):
+        """A new slab releases the owner's previous one on landing."""
+        dev = device()
+        timed(dev, dev.write(("sim", 0), 0, 2 * GB))
+        timed(dev, dev.write(("sim", 0), 1, 3 * GB))
+        timed(dev, dev.write(("ana", 1), 0, 1 * GB))
+        assert dev.used_bytes == 4 * GB  # not 6: version 0 was released
+        assert dev.slab_version(("sim", 0)) == 1
+        assert dev.slab_version(("ana", 1)) == 0
+        assert dev.slabs_stored == 3
+        _, slab = timed(dev, dev.read(("sim", 0)))
+        assert slab == (1, 3 * GB)
+
+    def test_capacity_overflow_raises(self):
+        dev = device()
+        timed(dev, dev.write(("sim", 0), 0, 8 * GB))
+        with pytest.raises(PmemDeviceFailure, match="pmem tier full"):
+            # Even net of the rotated slab this exceeds 10 GB.
+            timed(dev, dev.write(("sim", 0), 1, 11 * GB))
+        # Rotation accounting: replacing the 8 GB slab with 9 GB fits.
+        timed(dev, dev.write(("sim", 0), 1, 9 * GB))
+        assert dev.used_bytes == 9 * GB
+
+    def test_negative_write_rejected(self):
+        dev = device()
+        with pytest.raises(ValueError):
+            timed(dev, dev.write(("sim", 0), 0, -1))
+
+
+class TestChaosHooks:
+    def test_degrade_slows_and_restore_recovers(self):
+        dev = device()
+        nominal, _ = timed(dev, dev.write(("sim", 0), 0, 1 * GB))
+        dev.degrade(4.0)
+        slowed, _ = timed(dev, dev.write(("sim", 0), 1, 1 * GB))
+        assert slowed == pytest.approx(SPEC.op_time + 4.0)
+        dev.restore()
+        again, _ = timed(dev, dev.write(("sim", 0), 2, 1 * GB))
+        assert again == pytest.approx(nominal)
+
+    def test_slabs_survive_without_any_clearing_hook(self):
+        """Persistence: no failure-model path clears the ledger, so a
+        restart policy can always find the last slab."""
+        dev = device()
+        timed(dev, dev.write(("sim", 3), 7, 1 * GB))
+        dev.degrade(32.0)
+        dev.restore()
+        assert dev.slab_version(("sim", 3)) == 7
+
+
+class TestMachineWiring:
+    @pytest.mark.parametrize("name", ["titan", "cori"])
+    def test_catalog_machines_carry_a_tier(self, name):
+        spec = MACHINES[name].pmem
+        assert spec is not None
+        # Between DRAM and Lustre, with asymmetric channels.
+        assert spec.read_bandwidth > spec.write_bandwidth
+        assert spec.capacity_bytes < MACHINES[name].lustre.capacity_bytes
+
+    def test_cluster_builds_the_device_lazily(self):
+        env = Environment()
+        cluster = Cluster(env, TITAN)
+        assert cluster._pmem is None
+        dev = cluster.pmem
+        assert isinstance(dev, PmemDevice)
+        assert cluster.pmem is dev  # memoized
+
+    def test_machine_without_a_spec_has_no_tier(self):
+        env = Environment()
+        bare = dataclasses.replace(TITAN, pmem=None)
+        cluster = Cluster(env, bare)
+        assert cluster.pmem is None

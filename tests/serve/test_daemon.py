@@ -215,3 +215,65 @@ class TestStudyOverService:
         assert report is not None
         assert report.quarantined == []
         assert report.runcache is not None
+
+
+class TestJobEviction:
+    """Finished-job retention: TTL + cap, applied at submission time."""
+
+    def _daemon(self, tmp_path, **kwargs):
+        kwargs.setdefault("job_cap", 3)
+        kwargs.setdefault("job_ttl_seconds", 60.0)
+        return ServeDaemon(
+            socket_path=str(tmp_path / "evict.sock"), **kwargs
+        )
+
+    def _job(self, loop, ident, state="done", finished_ago=0.0):
+        from repro.serve.daemon import Job
+
+        job = Job(ident=ident, kind="figure", key=f"figure:{ident}",
+                  params={}, loop=loop, state=state)
+        if state in ("done", "failed", "cancelled"):
+            job.finished = time.monotonic() - finished_ago
+        return job
+
+    @pytest.fixture()
+    def loop(self):
+        import asyncio
+
+        loop = asyncio.new_event_loop()
+        yield loop
+        loop.close()
+
+    def test_cap_evicts_oldest_finished_first(self, tmp_path, loop):
+        daemon = self._daemon(tmp_path)
+        # j0 finished longest ago; cap=3 keeps the 3 newest.
+        for i in range(5):
+            job = self._job(loop, f"j{i}", finished_ago=50.0 - 10 * i)
+            daemon.jobs[job.ident] = job
+        daemon._evict_finished()
+        assert sorted(daemon.jobs) == ["j2", "j3", "j4"]
+        assert daemon.jobs_evicted == 2
+
+    def test_ttl_evicts_even_under_the_cap(self, tmp_path, loop):
+        daemon = self._daemon(tmp_path, job_ttl_seconds=30.0)
+        daemon.jobs["old"] = self._job(loop, "old", finished_ago=31.0)
+        daemon.jobs["new"] = self._job(loop, "new", finished_ago=1.0)
+        daemon._evict_finished()
+        assert sorted(daemon.jobs) == ["new"]
+        assert daemon.jobs_evicted == 1
+
+    def test_live_jobs_are_never_evicted(self, tmp_path, loop):
+        daemon = self._daemon(tmp_path, job_cap=1)
+        daemon.jobs["run"] = self._job(loop, "run", state="running")
+        daemon.jobs["que"] = self._job(loop, "que", state="queued")
+        daemon.jobs["fin"] = self._job(loop, "fin", finished_ago=1.0)
+        daemon._evict_finished()
+        # Over the cap, but only the finished job is eligible.
+        assert sorted(daemon.jobs) == ["que", "run"]
+        assert daemon.jobs_evicted == 1
+
+    def test_evicted_counter_reaches_the_stats_payload(self, tmp_path, loop):
+        daemon = self._daemon(tmp_path, job_ttl_seconds=0.0)
+        daemon.jobs["gone"] = self._job(loop, "gone", finished_ago=1.0)
+        daemon._evict_finished()
+        assert daemon.stats()["jobs"]["evicted"] == 1

@@ -30,7 +30,7 @@ class TestFactory:
     def test_method_names_stable(self):
         assert method_names() == [
             "dataspaces", "dataspaces-adios", "dimes", "dimes-adios",
-            "flexpath", "decaf", "mpiio",
+            "flexpath", "decaf", "mpiio", "sst",
         ]
 
     @pytest.mark.parametrize(

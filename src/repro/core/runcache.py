@@ -57,8 +57,12 @@ from typing import Any, Dict, Optional
 #: 5 -> 6: persistent-memory tier + SST streaming knobs
 #: (``pmem_checkpoint``/``sst_discard``) feed the simulated timings
 #: and results carry ``recovery_seconds``; pre-pmem pickles miss the
-#: field)
-SCHEMA_VERSION = 6
+#: field.
+#: 6 -> 7: checkpoint-fork incremental simulation — results carry
+#: ``forked``/``fork_fallback`` and the cache grows prefix entries
+#: (steady-boundary snapshots keyed by the point minus steps/fault
+#: plan); pre-fork pickles miss the fields)
+SCHEMA_VERSION = 7
 
 
 def _canonical(value: Any) -> Any:
@@ -85,6 +89,9 @@ class RunCache:
 
     def __init__(self, disk_dir: Optional[str] = None) -> None:
         self._memory: Dict[str, Any] = {}
+        #: steady-boundary prefix snapshots (:mod:`repro.core.forkpoint`),
+        #: keyed by the point spec minus (steps, fault plan, recovery)
+        self._prefixes: Dict[str, Any] = {}
         self.disk_dir = disk_dir
         self.hits = 0
         self.misses = 0
@@ -93,9 +100,18 @@ class RunCache:
         #: hits answered by reading a published disk entry (a subset of
         #: ``hits``): the cross-process sharing actually paying off
         self.disk_hits = 0
+        self.prefix_hits = 0
+        self.prefix_misses = 0
+        self.prefix_stores = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.disk_dir, f"{key}.pkl")
+
+    def _prefix_path(self, key: str) -> str:
+        # "px-" keeps snapshot pickles distinguishable from RunResult
+        # entries when a human lists the cache directory; keys are
+        # sha256 hex so the namespaces cannot collide anyway.
+        return os.path.join(self.disk_dir, f"px-{key}.pkl")
 
     def get(self, key: str) -> Optional[Any]:
         result = self._memory.get(key)
@@ -142,6 +158,56 @@ class RunCache:
             except OSError:
                 pass
 
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is resolvable, without touching hit counters.
+
+        Planning passes (the chaos fork pass, ``repro.exec``) use this
+        to decide what still needs computing; only actual consumption
+        should move the hit/miss statistics.
+        """
+        if key in self._memory:
+            return True
+        return self.disk_dir is not None and os.path.exists(self._path(key))
+
+    def get_prefix(self, key: str) -> Optional[Any]:
+        """Fetch a steady-boundary prefix snapshot (or ``None``)."""
+        snap = self._prefixes.get(key)
+        if snap is not None:
+            self.prefix_hits += 1
+            return snap
+        if self.disk_dir is not None:
+            try:
+                with open(self._prefix_path(key), "rb") as fh:
+                    snap = pickle.load(fh)
+            except Exception:
+                snap = None
+            if snap is not None:
+                self._prefixes[key] = snap
+                self.prefix_hits += 1
+                return snap
+        self.prefix_misses += 1
+        return None
+
+    def put_prefix(self, key: str, snap: Any) -> None:
+        """Publish a steady-boundary prefix snapshot under ``key``."""
+        self._prefixes[key] = snap
+        self.prefix_stores += 1
+        if self.disk_dir is not None:
+            try:
+                os.makedirs(self.disk_dir, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.disk_dir, prefix=f".px-{key[:16]}-", suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        pickle.dump(snap, fh)
+                    os.replace(tmp, self._prefix_path(key))
+                except BaseException:
+                    os.unlink(tmp)
+                    raise
+            except OSError:
+                pass
+
     def seed(self, key: str, result: Any) -> None:
         """Insert into the memory layer only (no disk write).
 
@@ -160,15 +226,23 @@ class RunCache:
             seeds=self.seeds,
             disk_hits=self.disk_hits,
             entries=len(self._memory),
+            prefix_hits=self.prefix_hits,
+            prefix_misses=self.prefix_misses,
+            prefix_stores=self.prefix_stores,
+            prefix_entries=len(self._prefixes),
         )
 
     def clear(self) -> None:
         self._memory.clear()
+        self._prefixes.clear()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.seeds = 0
         self.disk_hits = 0
+        self.prefix_hits = 0
+        self.prefix_misses = 0
+        self.prefix_stores = 0
 
 
 #: the process-wide cache every run_coupled call consults

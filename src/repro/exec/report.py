@@ -20,7 +20,11 @@ from typing import Any, Dict, List, Optional, TextIO
 #: 3 -> 4: records ``runcache`` — the in-process cache's hit/miss/
 #:         store/disk-hit counters at campaign end (the serving layer's
 #:         shared-store observability)
-SCHEMA = 4
+#: 4 -> 5: records ``forkpoint`` — checkpoint-fork counters at campaign
+#:         end (snapshots taken, forks served, declines by reason) and
+#:         per-round ``prefix_hits`` (points a resident steady-prefix
+#:         entry serves, kept off the pool)
+SCHEMA = 5
 
 
 class ProgressPrinter:
@@ -69,6 +73,8 @@ class RunReport:
     wall_seconds: float = 0.0
     #: :meth:`repro.core.runcache.RunCache.stats` at campaign end
     runcache: Optional[Dict[str, int]] = None
+    #: :meth:`repro.core.forkpoint.ForkpointStats.stats` at campaign end
+    forkpoint: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.effective_jobs is None:
@@ -90,6 +96,7 @@ class RunReport:
                 cache_hits=plan.cache_hits,
                 deduped_refs=plan.deduped_refs,
                 unplanned=plan.unplanned,
+                prefix_hits=plan.prefix_hits,
                 plan_errors=dict(plan.errors),
                 batch_sizes=list(batch_sizes or []),
             )
@@ -166,6 +173,7 @@ class RunReport:
             cache_hits=self.cache_hits,
             deduped_refs=self.deduped_refs,
             runcache=self.runcache,
+            forkpoint=self.forkpoint,
             rounds=self.rounds,
             tasks=self.tasks,
         )

@@ -576,6 +576,8 @@ class ServeDaemon:
     # -- stats ---------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
+        from ..core import forkpoint
+
         states: Dict[str, int] = {}
         for job in self.jobs.values():
             states[job.state] = states.get(job.state, 0) + 1
@@ -600,4 +602,8 @@ class ServeDaemon:
                 point_inflight_now=flight["inflight_now"],
                 job_coalesced=self.jobs_coalesced,
             ),
+            #: resident snapshot/fork observability: prefix entries stay
+            #: hot in this process's run cache across jobs, so replays
+            #: keep serving steps variants without re-simulating
+            forkpoint=forkpoint.STATS.stats(),
         )

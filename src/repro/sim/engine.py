@@ -31,6 +31,16 @@ short-horizon pattern: over half of all events are scheduled *at the
 current tick* (event ``succeed()`` cascades, process kick-offs,
 resource grants), and those never touch the heap at all — they append
 to the bucket being drained and pop as a list walk.
+
+Sparse streams (few same-tick collisions) used to pay a list
+allocation plus an ``IndexError`` per event, which made the calendar
+*slower* than the heap it replaced on uniform/wide synthetic streams.
+Two refinements close that gap without touching dense-stream wins: a
+tick whose bucket holds a single event stores the event **bare** in
+the dict (a list is built only on collision — engine events are never
+``None`` or ``list`` instances, so ``type(got) is list`` discriminates
+safely), and drained bucket lists are pooled for reuse instead of
+being re-allocated per occupied tick.
 """
 
 from __future__ import annotations
@@ -70,13 +80,15 @@ class Environment:
 
     __slots__ = (
         "_now", "_now_tick", "_buckets", "_ticks",
-        "_current", "_pos", "_never", "_free",
+        "_current", "_pos", "_never", "_free", "_bfree",
     )
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._now_tick = tick_of(self._now)
-        #: occupied tick -> FIFO list of events (lazy calendar pages)
+        #: occupied tick -> its FIFO calendar page: a bare event when
+        #: the tick holds exactly one (the sparse-stream common case),
+        #: a list once a second event collides on the same tick
         self._buckets: dict = {}
         #: min-heap over the occupied ticks (the calendar index)
         self._ticks: list = []
@@ -92,6 +104,8 @@ class Environment:
         #: list self-bounds at the peak number of simultaneously
         #: pending pooled events.
         self._free: list = []
+        #: free list of drained bucket lists, recycled on collision
+        self._bfree: list = []
 
     @property
     def now(self) -> float:
@@ -111,12 +125,49 @@ class Environment:
             # neither the dict nor the heap.
             self._current.append(event)
             return
-        bucket = self._buckets.get(tick)
-        if bucket is None:
-            self._buckets[tick] = [event]
+        buckets = self._buckets
+        got = buckets.get(tick)
+        if got is None:
+            buckets[tick] = event
             heappush(self._ticks, tick)
+        elif type(got) is list:
+            got.append(event)
         else:
-            bucket.append(event)
+            bfree = self._bfree
+            if bfree:
+                bucket = bfree.pop()
+                bucket.append(got)
+                bucket.append(event)
+            else:
+                bucket = [got, event]
+            buckets[tick] = bucket
+
+    def schedule_at_tick_front(self, event: Event, tick: int) -> None:
+        """Queue ``event`` at ``tick`` *ahead of* everything already there.
+
+        The fork-restore primitive: a forked child re-arms events that
+        the cold run scheduled at t=0 into then-empty future buckets,
+        where they landed *first*.  By fork time those buckets already
+        hold workload events, so plain appends would change same-tick
+        order; prepending (in reverse cold order) reconstructs the cold
+        bucket layout exactly.
+        """
+        if tick < self._now_tick:
+            raise ValueError(
+                f"tick {tick} is in the past (now={self._now_tick})"
+            )
+        if tick == self._now_tick and self._current is not None:
+            self._current.insert(self._pos, event)
+            return
+        buckets = self._buckets
+        got = buckets.get(tick)
+        if got is None:
+            buckets[tick] = event
+            heappush(self._ticks, tick)
+        elif type(got) is list:
+            got.insert(0, event)
+        else:
+            buckets[tick] = [event, got]
 
     def schedule(self, event: Event, delay: float = 0.0) -> None:
         """Queue ``event`` to be processed ``delay`` seconds from now.
@@ -137,12 +188,22 @@ class Environment:
             tick = self._now_tick + round(delay * _TICK_SCALE)
         else:
             raise ValueError(f"negative delay {delay}")
-        bucket = self._buckets.get(tick)
-        if bucket is None:
-            self._buckets[tick] = [event]
+        buckets = self._buckets
+        got = buckets.get(tick)
+        if got is None:
+            buckets[tick] = event
             heappush(self._ticks, tick)
+        elif type(got) is list:
+            got.append(event)
         else:
-            bucket.append(event)
+            bfree = self._bfree
+            if bfree:
+                bucket = bfree.pop()
+                bucket.append(got)
+                bucket.append(event)
+            else:
+                bucket = [got, event]
+            buckets[tick] = bucket
 
     def schedule_at_tick(self, event: Event, tick: int) -> None:
         """Queue ``event`` at the absolute tick ``tick`` (hot-path form)."""
@@ -247,12 +308,22 @@ class Environment:
             return event
         else:
             tick = self._now_tick + round(delay * _TICK_SCALE)
-        bucket = self._buckets.get(tick)
-        if bucket is None:
-            self._buckets[tick] = [event]
+        buckets = self._buckets
+        got = buckets.get(tick)
+        if got is None:
+            buckets[tick] = event
             heappush(self._ticks, tick)
+        elif type(got) is list:
+            got.append(event)
         else:
-            bucket.append(event)
+            bfree = self._bfree
+            if bfree:
+                bucket = bfree.pop()
+                bucket.append(got)
+                bucket.append(event)
+            else:
+                bucket = [got, event]
+            buckets[tick] = bucket
         return event
 
     def schedule_batch(self, actions) -> Event:
@@ -347,8 +418,9 @@ class Environment:
         rel: list = []
         if self._current is not None and self._pos < len(self._current):
             rel.extend([0] * (len(self._current) - self._pos))
-        for tick, bucket in self._buckets.items():
-            rel.extend([tick - now_tick] * len(bucket))
+        for tick, got in self._buckets.items():
+            count = len(got) if type(got) is list else 1
+            rel.extend([tick - now_tick] * count)
         rel.sort()
         if self._never:
             rel.extend([Infinity] * len(self._never))
@@ -357,26 +429,38 @@ class Environment:
     def step(self) -> None:
         """Process the next scheduled event."""
         pos = self._pos
-        try:
+        cur = self._current
+        if cur is not None and pos < len(cur):
             # The common case — the current bucket still has events —
-            # is a bare indexed load: on 3.11+ the try costs nothing
-            # when no exception fires, unlike a len() guard per step.
-            event = self._current[pos]
-        except (IndexError, TypeError):
-            # Bucket drained (IndexError) or no bucket yet (TypeError:
-            # _current is None): advance the calendar to the next tick.
+            # is a bare indexed load behind one bounds check (cheaper
+            # than the per-event IndexError sparse streams used to pay).
+            event = cur[pos]
+            self._pos = pos + 1
+        else:
+            # Bucket drained (or no bucket yet): advance the calendar
+            # to the next occupied tick, recycling the drained list.
+            if cur is not None:
+                del cur[:]
+                self._bfree.append(cur)
+                self._current = None
             ticks = self._ticks
             if not ticks:
-                self._current = None
-                raise EmptySchedule() from None
+                raise EmptySchedule()
             tick = heappop(ticks)
-            cur = self._buckets.pop(tick)
-            self._current = cur
+            got = self._buckets.pop(tick)
             self._now_tick = tick
             self._now = tick * _TICK
-            event = cur[0]
-            pos = 0
-        self._pos = pos + 1
+            if type(got) is list:
+                self._current = got
+                self._pos = 1
+                event = got[0]
+            else:
+                # Singleton bucket: the event was stored bare.  Leave
+                # _current None so a zero-delay push during its
+                # callbacks opens a fresh bucket at this tick, which
+                # pops before any later tick — same-tick FIFO holds.
+                self._pos = 0
+                event = got
 
         callbacks = event.callbacks
         if callbacks is None:

@@ -162,12 +162,21 @@ class Timeout(Event):
         else:
             tick = env._now_tick + round(delay * _TICK_SCALE)
         buckets = env._buckets
-        bucket = buckets.get(tick)
-        if bucket is None:
-            buckets[tick] = [self]
+        got = buckets.get(tick)
+        if got is None:
+            buckets[tick] = self
             heappush(env._ticks, tick)
+        elif type(got) is list:
+            got.append(self)
         else:
-            bucket.append(self)
+            bfree = env._bfree
+            if bfree:
+                bucket = bfree.pop()
+                bucket.append(got)
+                bucket.append(self)
+            else:
+                bucket = [got, self]
+            buckets[tick] = bucket
 
     @property
     def triggered(self) -> bool:

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Batch-engagement census: which Figure 2 cells compile, which decline.
+
+Sweeps every (machine, scale, method) cell of the Figure 2 grid at the
+study's small scales and records, per cell, the fidelity the driver
+settled on and — when the batch compilation did not engage — the
+verbatim decline reason from ``batch_fallback``.  The output JSON is
+uploaded as a CI artifact so engagement regressions (a certificate
+that silently stops firing, or a decline string that drifts) are
+visible per run without digging through test output.
+
+The census is *descriptive*, not a gate: the per-cell expectations
+that must hold are pinned in ``tests/workflows/test_batch_actors.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/batch_census.py [-o batch_census.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from collections import Counter
+from typing import Dict
+
+from repro.core.figures import FIG2_METHODS, SMALL_SCALES
+from repro.workflows import run_coupled
+
+
+def census(workflow: str = "lammps", steps: int = 5) -> Dict[str, object]:
+    cells = []
+    for machine in ("titan", "cori"):
+        for nsim, nana in SMALL_SCALES:
+            for method in FIG2_METHODS:
+                # batch_actors=True (vs the default auto) so cells whose
+                # clustering never engaged still record the decline
+                # reason instead of a bare None.
+                result = run_coupled(
+                    machine, workflow, method, nsim=nsim, nana=nana,
+                    steps=steps, fidelity="steady+clustered",
+                    batch_actors=True,
+                )
+                cells.append({
+                    "machine": machine,
+                    "scale": [nsim, nana],
+                    "method": method,
+                    "ok": result.ok,
+                    "fidelity": result.fidelity,
+                    "engaged": result.fidelity == "clustered+batch",
+                    "batch_fallback": result.batch_fallback,
+                })
+    engaged = sum(1 for c in cells if c["engaged"])
+    reasons = Counter(
+        c["batch_fallback"] for c in cells
+        if not c["engaged"] and c["batch_fallback"]
+    )
+    return {
+        "workflow": workflow,
+        "steps": steps,
+        "cells": cells,
+        "engaged": engaged,
+        "declined": len(cells) - engaged,
+        "decline_reasons": dict(reasons.most_common()),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="batch_census.json")
+    args = parser.parse_args(argv)
+    report = census()
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"{report['engaged']} engaged / {report['declined']} declined "
+          f"-> {args.output}")
+    for reason, count in report["decline_reasons"].items():
+        print(f"  {count:3d}x {reason}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

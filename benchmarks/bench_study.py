@@ -40,7 +40,11 @@ optimizations move.  Modes:
   events/sec drops more than 25 % (figures or chaos) against the
   committed baseline at ``PATH``, ``fig2a_full`` falls below the
   absolute :data:`COUPLED_EPS_FLOOR`, or the fork A/B misses its
-  absolute :data:`FORK_GATE_FLOORS`.
+  absolute :data:`FORK_GATE_FLOORS`;
+* ``--profile FIG`` — run one figure (any ``--full`` or study
+  experiment name) under :mod:`cProfile` and write the top 25
+  functions by cumulative time to ``profile-<fig>.txt`` next to the
+  JSON report — the first stop when a figure's events/sec drops.
 
 Schema 2 adds ``events_per_second`` per figure — the
 machine-independent throughput number (wall seconds vary with the
@@ -54,7 +58,10 @@ exists to deliver.  Schema 6 adds the beyond-the-paper ``fig_sst`` /
 chaos entry now covers the extended (pmem-tier) campaign.  Schema 7
 adds the ``fork`` section (checkpoint-fork A/B, gated on absolute
 speedup floors) and best-of-``repeats`` timing in the ``engine``
-microbenchmark.
+microbenchmark.  Schema 8 records the ``exec.pool.effective_jobs``
+clamp per ``jobs_sweep`` level (skipping levels the clamp makes
+redundant instead of timing pure worker-spawn overhead) and adds the
+contended-path compilers (dimes, mpiio, flexpath) to ``batch_ab``.
 
 The run cache is cleared before every experiment so timings measure
 simulation, not memoization.  Results merge into the output JSON, so
@@ -126,22 +133,79 @@ def experiments(mode: str) -> Dict[str, Callable[[], object]]:
 
 
 def jobs_sweep(levels=(1, 2, 4)) -> Dict[str, Dict[str, object]]:
-    """Wall-clock the full campaign at each parallelism level."""
+    """Wall-clock the full campaign at each parallelism level.
+
+    Every entry records the ``exec.pool.effective_jobs`` clamp next to
+    the requested level, and levels whose clamped worker count was
+    already measured are skipped instead of run: on a single-CPU host
+    ``--jobs 2`` used to report *slower* than ``--jobs 1`` purely from
+    worker start-up overhead, which read as a scaling regression when
+    it was really the same serial run plus spawn cost.
+    """
+    from repro.exec.pool import effective_jobs
+
     sweep: Dict[str, Dict[str, object]] = {}
+    measured: Dict[int, int] = {}
     for jobs in levels:
+        effective = effective_jobs(jobs)
+        if effective in measured:
+            sweep[str(jobs)] = {
+                "effective_jobs": effective,
+                "skipped": f"clamps to {effective} workers, "
+                           f"already measured at jobs={measured[effective]}",
+            }
+            print(f"jobs={jobs}   skipped (clamps to jobs={measured[effective]})")
+            continue
         runcache.clear()
         start = time.perf_counter()
         study = Study(jobs=jobs)
         study.run()
         elapsed = time.perf_counter() - start
-        entry: Dict[str, object] = {"seconds": round(elapsed, 3)}
+        entry: Dict[str, object] = {
+            "seconds": round(elapsed, 3),
+            "effective_jobs": effective,
+        }
         if study.run_report is not None:
             entry["executed"] = study.run_report.executed
             entry["deduped_refs"] = study.run_report.deduped_refs
             entry["rounds"] = len(study.run_report.rounds)
         sweep[str(jobs)] = entry
-        print(f"jobs={jobs}   {elapsed:8.2f} s")
+        measured[effective] = jobs
+        print(f"jobs={jobs}   {elapsed:8.2f} s  ({effective} workers)")
     return sweep
+
+
+def profile_figure(fig: str, output: str) -> int:
+    """Run one figure under cProfile; top-25 cumulative to a text file.
+
+    The dump lands at ``profile-<fig>.txt`` next to the JSON report
+    path, so ``-o`` steers both.  Cache cleared first: a memoized run
+    would profile the replay machinery instead of the simulator.
+    """
+    import cProfile
+    import pstats
+
+    runners: Dict[str, Callable] = {}
+    for mode in ("study", "full"):
+        runners.update(experiments(mode))
+    if fig not in runners:
+        print(f"unknown figure {fig!r}; choose from: "
+              f"{', '.join(sorted(runners))}", file=sys.stderr)
+        return 2
+    runcache.clear()
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    runners[fig]()
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+    path = os.path.join(os.path.dirname(os.path.abspath(output)) or ".",
+                        f"profile-{fig}.txt")
+    with open(path, "w") as fh:
+        pstats.Stats(profiler, stream=fh).sort_stats(
+            "cumulative").print_stats(25)
+    print(f"{fig:12s} {elapsed:8.2f} s under cProfile -> {path}")
+    return 0
 
 
 def chaos_bench(seed: int = 7) -> Dict[str, object]:
@@ -353,6 +417,21 @@ _BATCH_AB_CONFIGS = {
     "decaf_islands_cori": dict(
         machine="cori", method="decaf", nsim=512, nana=512,
         steps=1000, fidelity="clustered",
+    ),
+    # The contended-path compilers (this PR): shared metadata CPU,
+    # Lustre MDS queue + OST cursors, and the 1:1 stone pipeline all
+    # collapse into max-plus queue scans over the full group.
+    "dimes_metadata_titan": dict(
+        machine="titan", method="dimes", workflow="lammps",
+        nsim=32, nana=16, steps=1000, fidelity="clustered",
+    ),
+    "mpiio_lustre_cori": dict(
+        machine="cori", method="mpiio", workflow="lammps",
+        nsim=32, nana=16, steps=1000, fidelity="clustered",
+    ),
+    "flexpath_pipeline_titan": dict(
+        machine="titan", method="flexpath", workflow="lammps",
+        nsim=4, nana=4, steps=1000, fidelity="clustered",
     ),
 }
 
@@ -695,14 +774,16 @@ def fork_ab_bench(seed: int = 7, repeats: int = 3) -> Dict[str, object]:
 GATE_TOLERANCE = 0.25
 GATED_FIGURES = ("fig2a_full", "fig2b_full", "fig_sst", "fig_pmem")
 
-#: absolute coupled-throughput floor for fig2a_full (ev/s).  Set to
-#: the value achieved when the vectorized batch-actor engine landed
-#: (~245k ev/s less run-to-run noise): Figure 2's own configurations
-#: are the asymmetric, contended ones whose batch certificates
-#: correctly decline, so their throughput gates the *per-event* cost
-#: of the exact machinery, not the compilation win (see ``batch_ab``
-#: for that).
-COUPLED_EPS_FLOOR = 180_000
+#: absolute coupled-throughput floor for fig2a_full (ev/s).  Raised
+#: when the contended-path compilers landed (188-222k ev/s observed
+#: across runs): DIMES and MPI-IO now compile their shared
+#: metadata-CPU / Lustre-MDS queues on the Figure 2 cells whose order
+#: is provable, so the figure's wall is dominated by the remaining
+#: *honest* per-rank declines (DataSpaces fan-in, FlexPath fan-out
+#: notification graphs, the titan MPI-IO mixed exact/steady tick
+#: collisions) — the floor gates the per-event cost of that exact
+#: machinery, not the compilation win (see ``batch_ab`` for that).
+COUPLED_EPS_FLOOR = 185_000
 
 
 def perf_gate(
@@ -850,6 +931,10 @@ def main(argv=None) -> int:
                             "late-fault cell and a steady step-count "
                             "column, cold vs forked, byte-identity "
                             "asserted")
+    group.add_argument("--profile", metavar="FIG",
+                       help="run one figure under cProfile and write the "
+                            "top 25 cumulative functions to "
+                            "profile-<fig>.txt (no JSON report)")
     group.add_argument("--gate", metavar="BASELINE",
                        help="CI perf gate: rerun the --full figures, the "
                             "chaos campaign and the fork A/B; fail on a "
@@ -861,11 +946,15 @@ def main(argv=None) -> int:
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
 
-    report: Dict[str, object] = {"schema": 7, "cpus": os.cpu_count()}
+    if args.profile:
+        return profile_figure(args.profile, args.output)
+
+    report: Dict[str, object] = {"schema": 8, "cpus": os.cpu_count()}
     if args.jobs_sweep:
         report["mode"] = "jobs-sweep"
         report["jobs_sweep"] = jobs_sweep()
-        total = sum(e["seconds"] for e in report["jobs_sweep"].values())
+        total = sum(e.get("seconds", 0.0)
+                    for e in report["jobs_sweep"].values())
     elif args.chaos:
         report["mode"] = "chaos"
         report["chaos"] = chaos_bench()

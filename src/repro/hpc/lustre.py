@@ -244,6 +244,63 @@ class LustreFilesystem:
             ))
         return plan
 
+    def plan_for(self, handle: LustreFile, offset: int, nbytes: int) -> list:
+        """Memoized :meth:`_build_plan` lookup (frozen-rate runs only).
+
+        Shared by the live :meth:`_transfer` path and the batch
+        compiler's shadow pool so both replay the identical plan (and
+        populate the same memo).
+        """
+        memo = self._plan_memo
+        key = (
+            handle.first_ost, handle.stripe_size, handle.stripe_count,
+            offset, nbytes,
+        )
+        plan = memo.get(key)
+        if plan is None:
+            if len(memo) > 4096:
+                memo.clear()  # geometry churn backstop; plans rebuild
+            plan = self._build_plan(handle, offset, nbytes)
+            memo[key] = plan
+        return plan
+
+    @staticmethod
+    def apply_plan(plan: list, now_tick: int, ticks, busy, moved) -> int:
+        """Replay one compiled request against a pool state triple.
+
+        ``ticks``/``busy``/``moved`` are the chain-tick / busy-time /
+        bytes-moved arrays — either the live pool's own state or a
+        shadow copy held by the batch compiler.  Returns the request's
+        completion tick.  The float accumulation order is identical in
+        both callers by construction (same code).
+        """
+        end = 0
+        for o_arr, fill, tick_add, per_ost_bytes in plan:
+            width = fill.shape[0]
+            if width <= 4096:
+                m = np.empty((o_arr.shape[0], width + 1))
+                m[:, 0] = busy[o_arr]
+                m[:, 1:] = fill
+                np.add.accumulate(m, axis=1, out=m)
+                busy[o_arr] = m[:, width]
+            else:
+                # Very long bursts: per-OST 1-D folds, bounded memory.
+                arr = np.empty(width + 1)
+                for o in o_arr:
+                    arr[0] = busy[o]
+                    arr[1:] = fill
+                    np.add.accumulate(arr, out=arr)
+                    busy[o] = arr[width]
+            moved[o_arr] += per_ost_bytes
+            sel = ticks[o_arr]
+            np.maximum(sel, now_tick, out=sel)
+            sel += tick_add
+            ticks[o_arr] = sel
+            t = int(sel.max())
+            if t > end:
+                end = t
+        return end
+
     def _transfer(self, handle: LustreFile, offset: int, nbytes: int) -> Generator:
         """Process: push one contiguous request through the OST pipes.
 
@@ -264,46 +321,11 @@ class LustreFilesystem:
         if self._rates_frozen:
             if nbytes <= 0:
                 return
-            memo = self._plan_memo
-            key = (
-                handle.first_ost, handle.stripe_size, handle.stripe_count,
-                offset, nbytes,
+            plan = self.plan_for(handle, offset, nbytes)
+            end = self.apply_plan(
+                plan, self.env._now_tick,
+                self._chain_ticks, self._busy, self._moved,
             )
-            plan = memo.get(key)
-            if plan is None:
-                if len(memo) > 4096:
-                    memo.clear()  # geometry churn backstop; plans rebuild
-                plan = self._build_plan(handle, offset, nbytes)
-                memo[key] = plan
-            now_tick = self.env._now_tick
-            ticks = self._chain_ticks
-            busy = self._busy
-            moved = self._moved
-            end = 0
-            for o_arr, fill, tick_add, per_ost_bytes in plan:
-                width = fill.shape[0]
-                if width <= 4096:
-                    m = np.empty((o_arr.shape[0], width + 1))
-                    m[:, 0] = busy[o_arr]
-                    m[:, 1:] = fill
-                    np.add.accumulate(m, axis=1, out=m)
-                    busy[o_arr] = m[:, width]
-                else:
-                    # Very long bursts: per-OST 1-D folds, bounded memory.
-                    arr = np.empty(width + 1)
-                    for o in o_arr:
-                        arr[0] = busy[o]
-                        arr[1:] = fill
-                        np.add.accumulate(arr, out=arr)
-                        busy[o] = arr[width]
-                moved[o_arr] += per_ost_bytes
-                sel = ticks[o_arr]
-                np.maximum(sel, now_tick, out=sel)
-                sel += tick_add
-                ticks[o_arr] = sel
-                t = int(sel.max())
-                if t > end:
-                    end = t
             if end > 0:
                 yield self.env.timeout_at_tick(end)
             return

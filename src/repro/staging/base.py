@@ -242,6 +242,15 @@ class StagingLibrary:
     name = "abstract"
     #: whether the method deploys stand-alone staging server processes
     has_servers = False
+    #: whether :meth:`batch_plan` should also be consulted when the
+    #: clustering pass found no proper subgroup split: the driver then
+    #: offers the trivial full-group plan (every rank its own
+    #: representative, groups=1), which is exactly the regime where the
+    #: contended-path compilers (shared metadata CPUs, MDS queues,
+    #: point-to-point stones) can still prove a deterministic grant
+    #: order.  Stays False for libraries whose compiler needs a real
+    #: cluster split.
+    batch_full_group = False
 
     def __init__(
         self,

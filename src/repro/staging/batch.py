@@ -30,8 +30,11 @@ validated schedule applies its pipe claims and counters.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
+
+import numpy as np
 
 from ..sim.engine import _TICK_SCALE
 
@@ -122,26 +125,40 @@ class ShadowChains:
     order, and enforces the FIFO-equivalence precondition: arrivals at
     any one pipe must be *strictly* increasing, because only then is the
     compiler's claim order provably the per-rank run's chronological
-    claim order.  ``apply`` replays the validated claims onto the real
-    pipes (stats additions in the same per-pipe order as the per-rank
-    run) once nothing can fail any more.
+    claim order.  One relaxation: a caller may pass a ``cohort`` token
+    to certify that same-tick arrivals within that cohort are issued in
+    the per-rank run's spawn order (symmetric histories plus the
+    calendar queue's same-tick FIFO, see
+    :class:`~repro.sim.resources.Resource`), in which case exact ties
+    *within* the cohort are accepted; a tie against a different cohort
+    (or an uncertified claim) still declines.  ``apply`` replays the
+    validated claims onto the real pipes (stats additions in the same
+    per-pipe order as the per-rank run) once nothing can fail any more.
     """
 
     def __init__(self) -> None:
         self._ends = {}
         self._last_arrival = {}
+        self._last_cohort = {}
         #: (pipe, nbytes, arrival, predicted end) in claim order
         self._claims: list = []
 
-    def claim(self, pipe, nbytes: float, arrival: int) -> int:
+    def claim(self, pipe, nbytes: float, arrival: int, cohort=None) -> int:
         key = id(pipe)
         last = self._last_arrival.get(key)
         if last is not None and arrival <= last:
-            raise BatchDecline(
-                f"pipe {pipe.name!r}: arrival tick {arrival} does not "
-                f"strictly follow {last}; claim order would be ambiguous"
+            certified = (
+                arrival == last
+                and cohort is not None
+                and cohort == self._last_cohort.get(key)
             )
+            if not certified:
+                raise BatchDecline(
+                    f"pipe {pipe.name!r}: arrival tick {arrival} does not "
+                    f"strictly follow {last}; claim order would be ambiguous"
+                )
         self._last_arrival[key] = arrival
+        self._last_cohort[key] = cohort
         start = self._ends.get(key)
         if start is None:
             start = pipe._chain_end_tick
@@ -188,6 +205,197 @@ class SerialCpu:
         end = grant + busy_ticks
         self.free_tick = end
         return end
+
+
+class FifoQueue:
+    """Shadow of a capacity-*k* FIFO :class:`~repro.sim.resources.Resource`.
+
+    The real resource grants inline while fewer than ``capacity`` users
+    hold slots and otherwise parks requesters in FIFO order, granting
+    the queue head at each release tick (see
+    :class:`~repro.sim.resources.Resource` — grant order is the
+    request-call order, with same-tick calls served in call order by the
+    calendar queue's FIFO tie-break).  When every request's arrival tick
+    is known at compile time and arrivals are processed in certified
+    chronological order, that protocol collapses to an exact online
+    model: a min-heap of outstanding finish ticks where
+
+    - finishes ``<= arrival`` have already released their slots,
+    - a free slot grants at ``arrival``,
+    - a full server grants at the earliest outstanding finish (the FIFO
+      head's release tick — release order equals grant order because
+      every earlier requester was granted no later than this one).
+
+    Arrivals must be non-decreasing; an exact tie is accepted only when
+    both requests carry the same ``cohort`` certificate (same-tick
+    requests issued in spawn order), mirroring
+    :meth:`ShadowChains.claim`.
+    """
+
+    __slots__ = ("capacity", "name", "_busy", "_last_arrival", "_last_cohort")
+
+    def __init__(self, capacity: int, name: str = "queue") -> None:
+        if capacity < 1:
+            raise ValueError(f"{name}: capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._busy: List[int] = []
+        self._last_arrival: Optional[int] = None
+        self._last_cohort = None
+
+    def run(self, arrival: int, busy_ticks: int, cohort=None) -> int:
+        return self.serve(arrival, busy_ticks, cohort)[1]
+
+    def serve(self, arrival: int, busy_ticks: int, cohort=None) -> tuple:
+        """Serve one request; returns ``(grant_tick, finish_tick)``.
+
+        Exposing the grant lets callers distinguish an inline grant
+        (``grant == arrival`` — the real resource resumes the requester
+        in the same event cascade) from a queued grant (the resume is
+        scheduled at the release tick), which matters for same-tick
+        ordering certificates in stream-merge compilers.
+        """
+        last = self._last_arrival
+        if last is not None and arrival <= last:
+            certified = (
+                arrival == last
+                and cohort is not None
+                and cohort == self._last_cohort
+            )
+            if not certified:
+                raise BatchDecline(
+                    f"{self.name}: arrival tick {arrival} does not strictly "
+                    f"follow {last}; grant order would be ambiguous"
+                )
+        self._last_arrival = arrival
+        self._last_cohort = cohort
+        busy = self._busy
+        while busy and busy[0] <= arrival:
+            heapq.heappop(busy)
+        if len(busy) >= self.capacity:
+            grant = heapq.heappop(busy)
+        else:
+            grant = arrival
+        end = grant + busy_ticks
+        heapq.heappush(busy, end)
+        return grant, end
+
+
+def fifo_scan(arrivals, busy_ticks: int, capacity: int, name: str = "queue"):
+    """Vectorized capacity-*k* FIFO queue under *uniform* service time.
+
+    The max-plus recurrence ``grant[i] = max(arrival[i], finish[i-k])``,
+    ``finish[i] = grant[i] + busy_ticks`` is exact when arrivals are
+    sorted and service is uniform, because then finishes are
+    non-decreasing in arrival order and the *(i-k)*-th finish is
+    precisely the release that hands request *i* its slot (the
+    :class:`FifoQueue` heap never holds anything older).  The k-cursor
+    rolling max splits by residue class mod *k*: within class *c* the
+    recurrence telescopes to a running maximum,
+
+    ``finish[c::k][j] = max_{m<=j}(arrival[c::k][m] - m*s) + (j+1)*s``
+
+    — one ``np.maximum.accumulate`` per class over int64 tick tables.
+    Returns the finish-tick array; raises :class:`BatchDecline` if the
+    arrivals are not sorted (caller certifies ties separately, via the
+    cohort rules on the arrival-producing chains).
+    """
+    a = np.ascontiguousarray(arrivals, dtype=np.int64)
+    n = a.shape[0]
+    if n == 0:
+        return a.copy()
+    if np.any(a[1:] < a[:-1]):
+        raise BatchDecline(
+            f"{name}: arrival ticks are not sorted; grant order would "
+            "not be the FIFO request order"
+        )
+    k = int(capacity)
+    s = int(busy_ticks)
+    finish = np.empty(n, dtype=np.int64)
+    for c in range(min(k, n)):
+        sub = a[c::k]
+        j = np.arange(sub.shape[0], dtype=np.int64)
+        finish[c::k] = np.maximum.accumulate(sub - j * s) + (j + 1) * s
+    return finish
+
+
+def rpc_round_trip(
+    shadow: ShadowChains,
+    shared_pipe,
+    nbytes: float,
+    arrivals,
+    delta_ticks,
+    cohort,
+    name: str = "rpc",
+    cohort_ids=None,
+    order_keys=None,
+):
+    """Claim a shared pipe's forward and reverse RPC crossings in the
+    per-rank run's chronological call order.
+
+    Each client's forward transfer claims ``shared_pipe`` (as the
+    destination NIC) at its arrival tick; completion of that claim
+    schedules the *reverse* transfer's source crossing of the same pipe
+    ``delta_ticks`` later (the reverse move's op latency plus wire
+    latency — an int, or a per-client int64 array when clients sit at
+    different hop distances).  Early clients' reverse crossings
+    interleave between later clients' forward crossings whenever
+    queueing stagger exceeds the pipe busy time, so claim order must be
+    resolved by an online merge — a heap keyed ``(tick, push order)``,
+    which matches the engine's calendar-queue pop order as long as no
+    forward crossing ties a reverse crossing on the exact tick
+    (declined: the engine would order those by process spawn history
+    the certificate does not cover).
+
+    Forward arrivals are seeded in stable chronological order; a
+    same-tick forward tie is certified through the claim cohort, which
+    carries the caller's per-client history class (``cohort_ids``) —
+    only full-history twins, whose engine events sit in spawn order in
+    every bucket, may tie.  Twins sit in spawn order only until a gate
+    wake reorders them; ``order_keys`` carries the caller's engine
+    order within each class (park position after a wake), defaulting to
+    client index.  Returns ``(fwd_ends, rev_ends)`` int64 arrays
+    indexed like ``arrivals``.
+    """
+    n = len(arrivals)
+    fwd = np.empty(n, dtype=np.int64)
+    rev = np.empty(n, dtype=np.int64)
+    scalar_delta = np.ndim(delta_ticks) == 0
+    if order_keys is None:
+        order = np.argsort(arrivals, kind="stable")
+    else:
+        order = np.lexsort((order_keys, arrivals))
+    heap = [
+        (int(arrivals[idx]), pos, 0, int(idx))
+        for pos, idx in enumerate(order)
+    ]
+    heapq.heapify(heap)
+    seq = n
+    prev_tick = None
+    prev_kind = None
+    while heap:
+        tick, _order, kind, i = heapq.heappop(heap)
+        if tick == prev_tick and kind != prev_kind:
+            raise BatchDecline(
+                f"{name}: forward and reverse crossings collide at tick "
+                f"{tick}; claim order would depend on process history"
+            )
+        prev_tick = tick
+        prev_kind = kind
+        cid = 0 if cohort_ids is None else cohort_ids[i]
+        if kind == 0:
+            end = shadow.claim(
+                shared_pipe, nbytes, tick, cohort=(cohort, "fwd", cid)
+            )
+            fwd[i] = end
+            delta = delta_ticks if scalar_delta else int(delta_ticks[i])
+            heapq.heappush(heap, (end + delta, seq, 1, i))
+            seq += 1
+        else:
+            rev[i] = shadow.claim(
+                shared_pipe, nbytes, tick, cohort=(cohort, "rev", cid)
+            )
+    return fwd, rev
 
 
 def link_path(cluster, src_node, dst_node, overhead_factor: float):

@@ -906,7 +906,28 @@ def _execute(
                     "batch: compute-only baseline has no chains to compile"
                 )
         elif plan is None:
-            if batch_actors:
+            if library.batch_full_group and clustered_req:
+                # Contended-path libraries compile even without a proper
+                # subgroup split: when clustering was *requested* but
+                # declined, the trivial full-group plan (groups=1, every
+                # rank a representative) is offered to the certificate
+                # directly.  It stays local to this gate — ``plan``
+                # itself must remain None so a declining run keeps its
+                # honest "exact"/"steady" fidelity label — and an
+                # unrequested clustering never compiles (a plain
+                # "steady"/"exact" request means exactly that).
+                full_group = ClusterPlan(
+                    sim_reps=sim_actors,
+                    ana_reps=ana_actors,
+                    server_reps=topo.server_actors if library.has_servers else 0,
+                    groups=1,
+                )
+                bplan = library.batch_plan(
+                    full_group, write_regions, read_regions
+                )
+                if bplan is None:
+                    result.batch_fallback = library.batch_decline
+            elif batch_actors:
                 result.batch_fallback = (
                     "batch: clustered fidelity did not engage"
                 )
@@ -1203,10 +1224,15 @@ def _execute(
             # Runtime decline: the per-rank step loops ran in place.
             result.batch_fallback = batch_state["fallback"]
             if result.fidelity_fallback is not None:
+                mirrored = result.fork_fallback == result.fidelity_fallback
                 result.fidelity_fallback = (
                     "steady: skipped for a batch compilation that then "
                     "declined at runtime"
                 )
+                if mirrored:
+                    # The prefix-snapshot reason was mirrored from the
+                    # pre-run fidelity fallback; keep them in step.
+                    result.fork_fallback = result.fidelity_fallback
 
     steady_end = None
     fork_partial = None

@@ -27,6 +27,36 @@ from .test_perf_modes import MATCHED, assert_identical, fresh_run
 #: islands (uniform dragonfly hops); titan's torus hops refuse
 DECAF_ISLANDS = dict(method="decaf", nsim=512, nana=512, steps=5)
 
+#: the smallest Figure 2 cell, method left open
+FIG2_CELL = dict(
+    workflow="lammps", nsim=32, nana=16, steps=5,
+    fidelity="steady+clustered",
+)
+
+#: every library x machine cell of the Figure 2 sweeps: either the
+#: contended-path compilation engages (None) or the run records this
+#: specific, stable decline prefix in ``batch_fallback``
+FIG2_ATTRIBUTION = {
+    ("titan", "mpiio"): None,
+    ("titan", "dimes"): None,
+    ("titan", "dimes-adios"): None,
+    ("titan", "flexpath"):
+        "batch: flexpath notifications fan out through shared EVPath",
+    ("titan", "dataspaces"): "batch: clustered fidelity did not engage",
+    ("titan", "dataspaces-adios"):
+        "batch: clustered fidelity did not engage",
+    ("titan", "decaf"): "batch: clustered fidelity did not engage",
+    ("cori", "mpiio"): None,
+    ("cori", "dimes"): "batch: DRC credential service present",
+    ("cori", "dimes-adios"): "batch: DRC credential service present",
+    ("cori", "flexpath"):
+        "batch: flexpath notifications fan out through shared EVPath",
+    ("cori", "dataspaces"): "batch: clustered fidelity did not engage",
+    ("cori", "dataspaces-adios"):
+        "batch: clustered fidelity did not engage",
+    ("cori", "decaf"): "batch: decaf compiles 1:1:1 islands only",
+}
+
 
 def batch_pair(**kwargs):
     """The same configuration with the compilation off and on."""
@@ -62,6 +92,34 @@ class TestBatchEquivalence:
         assert result.fidelity == "clustered+batch"
         assert result.batch_fallback is None
 
+    def test_dimes_contended_group_engages_on_titan(self):
+        # DIMES funnels every rank through the shared multi-slot
+        # metadata CPU; the max-plus scan compiles it bit-identically.
+        off, on = batch_pair(machine="titan", method="dimes", **FIG2_CELL)
+        assert on.fidelity == "clustered+batch"
+        assert on.batch_fallback is None
+        assert_identical(off, on, ignore=("fidelity",))
+
+    @pytest.mark.parametrize("machine", ["titan", "cori"])
+    def test_mpiio_lustre_merge_engages(self, machine):
+        # MPI-IO free-runs under the steps-deep window; the op-stream
+        # merge over the MDS FIFO + OST cursors stays bit-identical.
+        off, on = batch_pair(machine=machine, method="mpiio", **FIG2_CELL)
+        assert on.fidelity == "clustered+batch"
+        assert on.batch_fallback is None
+        assert_identical(off, on, ignore=("fidelity",))
+
+    def test_flexpath_point_to_point_engages(self):
+        # A 1:1 subscription graph is a static partition: one source
+        # stone, one sink, one edge — the pipeline compiles.
+        off, on = batch_pair(
+            machine="titan", method="flexpath", workflow="lammps",
+            nsim=4, nana=4, steps=5, fidelity="steady+clustered",
+        )
+        assert on.fidelity == "clustered+batch"
+        assert on.batch_fallback is None
+        assert_identical(off, on, ignore=("fidelity",))
+
     def test_engaged_run_simulates_fewer_events(self):
         from repro.sim.engine import Environment
 
@@ -84,6 +142,84 @@ class TestBatchEquivalence:
             Environment.step = orig
         per_rank_events, batch_events = counts
         assert batch_events < per_rank_events / 10
+
+
+class TestQueueModels:
+    """The compile-time FIFO queue models equal the live Resource."""
+
+    CASES = [
+        # (capacity, service_ticks, arrival ticks)
+        (1, 3, [0, 1, 2, 3, 10, 11]),
+        (2, 5, [0, 0, 1, 2, 3, 4, 20]),
+        (3, 4, [0, 1, 1, 1, 2, 9, 9, 30, 31]),
+        (4, 7, list(range(12))),
+    ]
+
+    @staticmethod
+    def simulate(capacity, service, arrivals):
+        """Grant/finish ticks from a live capacity-k Resource."""
+        from repro.sim import Environment, Resource
+
+        env = Environment()
+        res = Resource(env, capacity=capacity)
+        out = {}
+
+        def requester(env, idx, arrival):
+            yield env.timeout(arrival)
+            with res.request() as req:
+                yield req
+                grant = env.now
+                yield env.timeout(service)
+                out[idx] = (grant, env.now)
+
+        for idx, arrival in enumerate(arrivals):
+            env.process(requester(env, idx, arrival))
+        env.run()
+        return [out[idx] for idx in range(len(arrivals))]
+
+    @pytest.mark.parametrize("capacity,service,arrivals", CASES)
+    def test_fifo_queue_matches_live_resource(
+        self, capacity, service, arrivals,
+    ):
+        from repro.staging.batch import FifoQueue
+
+        queue = FifoQueue(capacity, name="test")
+        model = [
+            queue.serve(arrival, service, cohort="spawn")
+            for arrival in arrivals
+        ]
+        assert model == self.simulate(capacity, service, arrivals)
+
+    @pytest.mark.parametrize("capacity,service,arrivals", CASES)
+    def test_fifo_scan_matches_live_resource(
+        self, capacity, service, arrivals,
+    ):
+        import numpy as np
+
+        from repro.staging.batch import fifo_scan
+
+        finishes = fifo_scan(
+            np.asarray(arrivals, dtype=np.int64), service, capacity,
+        )
+        live = [fin for _grant, fin in
+                self.simulate(capacity, service, arrivals)]
+        assert finishes.tolist() == live
+
+    def test_fifo_scan_declines_unsorted_arrivals(self):
+        import numpy as np
+
+        from repro.staging.batch import fifo_scan
+
+        with pytest.raises(BatchDecline):
+            fifo_scan(np.asarray([5, 3], dtype=np.int64), 2, 1)
+
+    def test_fifo_queue_declines_uncertified_tie(self):
+        from repro.staging.batch import FifoQueue
+
+        queue = FifoQueue(2, name="test")
+        queue.serve(4, 3, cohort="a")
+        with pytest.raises(BatchDecline):
+            queue.serve(4, 3, cohort="b")
 
 
 class TestBatchRefusals:
@@ -117,27 +253,54 @@ class TestBatchRefusals:
             "batch: clustered fidelity did not engage"
         )
 
-    @pytest.mark.parametrize("method", ["dimes", "flexpath", "mpiio"])
-    def test_contended_libraries_always_decline(self, method):
-        # These libraries funnel every rank through shared resources
-        # (metadata CPUs, stone queues, Lustre MDS/OSTs) whose grant
-        # order is contention-dependent — no static compilation exists.
+    @pytest.mark.parametrize("method,expect", [
+        ("dimes", "batch: dimes compiles the full contended group"),
+        ("mpiio", "batch: mpiio compiles the full contended group"),
+        ("flexpath", "batch: flexpath notifications fan out"),
+    ])
+    def test_contended_compilers_refuse_cluster_splits(self, method, expect):
+        # The contended-path compilers model the *whole* group's shared
+        # resources (metadata CPUs, the Lustre MDS, stone queues); a
+        # subgroup split — or, for flexpath, any fan-out wider than the
+        # point-to-point partition — is outside every certificate.
         from repro.hpc.cluster import Cluster
         from repro.hpc.machines import get_machine
         from repro.sim import Environment
         from repro.staging.base import ClusterPlan
+        from repro.staging.decomposition import application_decomposition
         from repro.staging.factory import make_library
 
         env = Environment()
         cluster = Cluster(env, get_machine("titan"))
+        var = Variable("v", (8192, 64))
         library = make_library(
-            method, cluster, nsim=8, nana=8,
-            variable=Variable("v", (8192, 64)), steps=5,
+            method, cluster, nsim=8, nana=8, variable=var, steps=5,
         )
+        regions = application_decomposition(var, 8, 0)
         plan = ClusterPlan(sim_reps=1, ana_reps=1, server_reps=1, groups=8)
-        assert library.batch_plan(plan, [], []) is None
-        assert library.batch_decline.startswith("batch:")
-        assert method.replace("_", "") in library.batch_decline.replace("-", "")
+        assert library.batch_plan(plan, regions, regions) is None
+        assert library.batch_decline.startswith(expect)
+
+    @pytest.mark.parametrize(
+        "machine,method", sorted(FIG2_ATTRIBUTION),
+        ids=[f"{m}-{lib}" for m, lib in sorted(FIG2_ATTRIBUTION)],
+    )
+    def test_fig2_cells_engage_or_decline_with_stable_reason(
+        self, machine, method,
+    ):
+        # Every Figure 2 cell either compiles to ``clustered+batch`` or
+        # records a specific, stable refusal in ``batch_fallback`` — no
+        # cell may silently change attribution.
+        expect = FIG2_ATTRIBUTION[(machine, method)]
+        result = fresh_run(machine=machine, method=method,
+                           batch_actors=True, **FIG2_CELL)
+        if expect is None:
+            assert result.fidelity == "clustered+batch"
+            assert result.batch_fallback is None
+        else:
+            assert result.fidelity != "clustered+batch"
+            assert result.batch_fallback is not None
+            assert result.batch_fallback.startswith(expect)
 
     def test_runtime_decline_falls_back_in_place(self, monkeypatch):
         # A certificate that fails its live checks mid-compile must run
